@@ -1,0 +1,14 @@
+"""Ablation: DBN vs LUT nearest-neighbour vs heuristic coarse stage."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_coarse_model(benchmark, record_table):
+    table = benchmark.pedantic(
+        ablations.run_coarse_model, rounds=1, iterations=1
+    )
+    record_table("ablation_coarse_model", table)
+    dmr = {r[0]: float(r[1]) for r in table.rows}
+    # Both offline-informed policies beat the hand-written heuristic.
+    assert dmr["DBN (paper)"] <= dmr["heuristic"]
+    assert dmr["LUT nearest"] <= dmr["heuristic"]

@@ -1,0 +1,10 @@
+"""Ablation: the δ intra/inter fine-pass selection threshold."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_delta(benchmark, record_table):
+    table = benchmark.pedantic(ablations.run_delta, rounds=1, iterations=1)
+    record_table("ablation_delta", table)
+    dmrs = [float(r[1]) for r in table.rows]
+    assert all(0.0 <= d <= 1.0 for d in dmrs)

@@ -1,0 +1,11 @@
+"""Ablation: the Eq. (22) capacitor-switch threshold E_th."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_eth(benchmark, record_table):
+    table = benchmark.pedantic(ablations.run_eth, rounds=1, iterations=1)
+    record_table("ablation_eth", table)
+    switches = [int(r[3]) for r in table.rows]
+    # A larger threshold can only allow more switches.
+    assert switches == sorted(switches)

@@ -1,0 +1,27 @@
+"""Figure 10(a): DMR and complexity vs solar prediction length."""
+
+import numpy as np
+
+from repro.experiments import fig10a_prediction
+
+
+def test_fig10a_prediction_length(benchmark, record_table):
+    table = benchmark.pedantic(
+        fig10a_prediction.run,
+        rounds=1,
+        iterations=1,
+        kwargs={"horizon_hours": (6, 12, 24, 48, 96), "num_days": 14},
+    )
+    record_table("fig10a_prediction_length", table)
+
+    dmrs = [float(r[1]) for r in table.rows]
+    transitions = [int(r[2].replace(",", "")) for r in table.rows]
+    # Complexity grows monotonically with the prediction length.
+    assert transitions == sorted(transitions)
+    # DMR improves from the shortest horizon, then saturates/degrades:
+    # the best horizon is longer than the shortest, and the tail gains
+    # little or gets worse (the paper's balance point).
+    best = int(np.argmin(dmrs))
+    assert best > 0
+    assert dmrs[best] < dmrs[0]
+    assert dmrs[-1] >= dmrs[best] - 0.01

@@ -1,0 +1,19 @@
+"""Figure 10(b): migration efficiency and DMR vs number of capacitors."""
+
+from repro.experiments import fig10b_capacitors
+
+
+def test_fig10b_capacitor_count(benchmark, record_table):
+    table = benchmark.pedantic(
+        fig10b_capacitors.run,
+        rounds=1,
+        iterations=1,
+        kwargs={"counts": (1, 2, 3, 4, 5, 6, 8)},
+    )
+    record_table("fig10b_capacitor_count", table)
+
+    day2 = [float(r[3]) for r in table.rows]
+    # Distributed sizing helps and saturates: more capacitors never
+    # hurt much, and the best bank beats the single capacitor.
+    assert min(day2) <= day2[0]
+    assert day2[-1] <= day2[0] + 0.02

@@ -1,0 +1,11 @@
+"""Figure 1 (motivation): long-term vs single-period DMR over a day."""
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(benchmark, record_table):
+    table = benchmark.pedantic(fig1_motivation.run, rounds=1, iterations=1)
+    record_table("fig1_motivation", table)
+    # Shape: the long-term scheduler is clearly better at night.
+    night_note = [n for n in table.notes if n.startswith("shape target")][0]
+    assert "OK" in night_note, night_note

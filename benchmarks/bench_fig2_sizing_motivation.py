@@ -1,0 +1,12 @@
+"""Figure 2 (motivation): optimal capacitor size depends on the pattern."""
+
+from repro.experiments import fig2_sizing
+
+
+def test_fig2_sizing_motivation(benchmark, record_table):
+    table = benchmark.pedantic(fig2_sizing.run, rounds=1, iterations=1)
+    record_table("fig2_sizing_motivation", table)
+    small = [float(r[1].rstrip("%")) for r in table.rows]
+    large = [float(r[2].rstrip("%")) for r in table.rows]
+    # The optimum moves to a larger capacitance for the large pattern.
+    assert large.index(max(large)) > small.index(max(small))

@@ -1,0 +1,10 @@
+"""Figure 5: regulator efficiency curves."""
+
+from repro.experiments import fig5_regulators
+
+
+def test_fig5_regulators(benchmark, record_table):
+    table = benchmark.pedantic(fig5_regulators.run, rounds=1, iterations=1)
+    record_table("fig5_regulators", table)
+    etas = [float(r[1].rstrip("%")) for r in table.rows]
+    assert etas == sorted(etas)  # monotone rise with voltage

@@ -1,0 +1,15 @@
+"""Figure 6 companion: DBN architecture and training diagnostics."""
+
+from repro.experiments import fig6_dbn
+
+
+def test_fig6_dbn(benchmark, record_table):
+    table = benchmark.pedantic(fig6_dbn.run, rounds=1, iterations=1)
+    record_table("fig6_dbn", table)
+    values = {r[0]: r[1] for r in table.rows}
+    # The compact model faithfully reproduces its training targets.
+    assert float(values["capacitor accuracy"].rstrip("%")) > 70.0
+    assert float(values["task-bit accuracy"].rstrip("%")) > 90.0
+    # Both training phases made progress.
+    first, last = values["fine-tune loss"].split(" -> ")
+    assert float(last) < float(first)

@@ -1,0 +1,11 @@
+"""Figure 7: solar power of the four representative days."""
+
+from repro.experiments import fig7_solar
+
+
+def test_fig7_solar_days(benchmark, record_table):
+    table = benchmark.pedantic(fig7_solar.run, rounds=1, iterations=1)
+    record_table("fig7_solar_days", table)
+    # Shape: daily energy strictly decreasing day1 -> day4.
+    energies = [float(c) for c in table.rows[-1][1:]]
+    assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,11 @@
+"""Section 6.5: algorithm overhead (< 3% of total node energy)."""
+
+from repro.experiments import overhead
+
+
+def test_overhead(benchmark, record_table):
+    table = benchmark.pedantic(overhead.run, rounds=1, iterations=1)
+    record_table("overhead", table)
+    rel_note = [n for n in table.notes if "relative overhead" in n][0]
+    rel = float(rel_note.split(":")[1].split("%")[0])
+    assert rel < 3.0

@@ -1,0 +1,22 @@
+"""Table 2: migration efficiency, analytical model vs nonideal 'bench'."""
+
+from repro.experiments import table2_migration
+
+
+def test_table2_migration(benchmark, record_table):
+    table = benchmark.pedantic(table2_migration.run, rounds=1, iterations=1)
+    record_table("table2_migration", table)
+
+    model_small = {
+        r[0]: float(r[1].rstrip("%")) for r in table.rows
+    }  # 7J/60min model column
+    model_large = {r[0]: float(r[4].rstrip("%")) for r in table.rows}
+    # Paper shape: 1F best on the small pattern, 10F on the large one,
+    # and the small capacitor collapses on the large pattern.
+    assert max(model_small, key=model_small.get) == "1F"
+    assert max(model_large, key=model_large.get) == "10F"
+    assert model_large["1F"] < model_large["10F"]
+    # Model-vs-test errors stay in the paper's range (avg 5.38%).
+    avg_err_note = table.notes[0]
+    avg_err = float(avg_err_note.split(":")[1].split("%")[0])
+    assert avg_err < 15.0

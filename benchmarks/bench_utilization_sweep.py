@@ -1,0 +1,13 @@
+"""Extension: the long-term advantage across workload utilisation."""
+
+from repro.experiments import utilization_sweep
+
+
+def test_utilization_sweep(benchmark, record_table):
+    table = benchmark.pedantic(utilization_sweep.run, rounds=1, iterations=1)
+    record_table("utilization_sweep", table)
+    gaps = [float(r[4]) for r in table.rows]
+    # The optimal never loses to the baselines (beyond noise)...
+    assert min(gaps) > -0.03
+    # ...and somewhere in the middle the long-term advantage is real.
+    assert max(gaps) > 0.03

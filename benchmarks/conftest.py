@@ -1,0 +1,26 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper and persists
+the rendered table under ``benchmarks/results/`` so EXPERIMENTS.md can
+be refreshed from a single run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist an ExperimentTable and echo it to the terminal."""
+
+    def _record(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render() + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _record

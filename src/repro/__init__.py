@@ -1,0 +1,76 @@
+"""Reproduction of "Deadline-aware Task Scheduling for Solar-powered
+Nonvolatile Sensor Nodes with Global Energy Migration" (DAC 2015).
+
+Public API layers:
+
+* :mod:`repro.timeline`, :mod:`repro.tasks` — time structure and task
+  model;
+* :mod:`repro.solar` — irradiance, panel, traces and predictors;
+* :mod:`repro.energy` — regulators, super capacitors, migration and
+  sizing;
+* :mod:`repro.node` — the dual-channel sensor node architecture;
+* :mod:`repro.sim` — the slot-level simulator;
+* :mod:`repro.schedulers` — baseline policies;
+* :mod:`repro.core` — the paper's contribution: offline long-term DMR
+  optimisation, the DBN, and the online deadline-aware scheduler;
+* :mod:`repro.reliability` — fault injection and robustness studies;
+* :mod:`repro.analysis` — bootstrap statistics for comparisons;
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.cli` — ``python -m repro`` command-line interface.
+
+Quickstart::
+
+    from repro import quick_node, simulate
+    from repro.tasks import wam
+    from repro.solar import four_day_trace
+    from repro.timeline import Timeline
+    from repro.schedulers import InterTaskScheduler
+
+    tl = Timeline(num_days=4, periods_per_day=144,
+                  slots_per_period=20, slot_seconds=30.0)
+    trace = four_day_trace(tl)
+    graph = wam()
+    node = quick_node(graph)
+    result = simulate(node, graph, trace, InterTaskScheduler())
+    print(result.dmr, result.energy_utilization)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .timeline import SlotIndex, Timeline
+from .sim.engine import simulate
+from .node.node import SensorNode
+from .energy.capacitor import SuperCapacitor
+from .tasks.graph import TaskGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Timeline",
+    "SlotIndex",
+    "simulate",
+    "SensorNode",
+    "quick_node",
+    "__version__",
+]
+
+#: Default distributed bank used when no sizing run is available,
+#: spanning the small/large trade-off of the paper's Table 2.
+DEFAULT_BANK_FARADS: Sequence[float] = (1.0, 4.7, 10.0, 47.0)
+
+
+def quick_node(
+    graph: TaskGraph,
+    capacitances: Sequence[float] = DEFAULT_BANK_FARADS,
+    **node_kwargs,
+) -> SensorNode:
+    """A ready-to-run node for the given task set.
+
+    Builds a :class:`SensorNode` with the default panel and a
+    distributed capacitor bank of the given sizes; for properly sized
+    banks use :func:`repro.energy.size_bank`.
+    """
+    caps = [SuperCapacitor(capacitance=c) for c in capacitances]
+    return SensorNode(caps, num_nvps=graph.num_nvps, **node_kwargs)

@@ -1,0 +1,146 @@
+"""Statistical analysis helpers for scheduler comparisons.
+
+Simulation DMRs are noisy functions of the weather seed; claiming
+"scheduler A beats scheduler B" deserves an uncertainty estimate.
+This module provides the small statistics toolbox the experiment
+notes use: bootstrap confidence intervals over per-period DMR series,
+paired comparisons across benchmarks/days, and seed sweeps.
+
+Implemented from scratch on numpy (the repository's only runtime
+dependency); functions accept plain arrays so they also work on any
+user-collected series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from .sim.recorder import SimulationResult
+
+__all__ = [
+    "bootstrap_ci",
+    "paired_bootstrap_diff",
+    "PairedComparison",
+    "compare_results",
+    "seed_sweep",
+]
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap CI: ``(estimate, low, high)``."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 1:
+        raise ValueError(f"num_resamples must be >= 1, got {num_resamples}")
+    rng = np.random.default_rng(seed)
+    n = len(values)
+    stats = np.empty(num_resamples)
+    for i in range(num_resamples):
+        stats[i] = statistic(values[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(statistic(values)),
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired A-vs-B comparison.
+
+    ``diff`` is mean(A - B): negative favours A when lower is better
+    (DMR).  ``p_value`` is the two-sided bootstrap sign-flip p-value.
+    """
+
+    diff: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """CI excludes zero at the chosen confidence."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap_diff(
+    a: np.ndarray,
+    b: np.ndarray,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired bootstrap on per-item differences ``a - b``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or len(a) == 0:
+        raise ValueError("a and b must be equal-length non-empty 1-D arrays")
+    diffs = a - b
+    estimate, low, high = bootstrap_ci(
+        diffs, confidence=confidence, num_resamples=num_resamples, seed=seed
+    )
+    # Sign-flip permutation p-value (paired, two-sided).
+    rng = np.random.default_rng(seed + 1)
+    observed = abs(diffs.mean())
+    hits = 0
+    for _ in range(num_resamples):
+        signs = rng.choice([-1.0, 1.0], size=len(diffs))
+        if abs((diffs * signs).mean()) >= observed - 1e-15:
+            hits += 1
+    p = (hits + 1) / (num_resamples + 1)
+    return PairedComparison(
+        diff=estimate, ci_low=low, ci_high=high, p_value=float(p)
+    )
+
+
+def compare_results(
+    a: SimulationResult,
+    b: SimulationResult,
+    granularity: str = "day",
+    **kwargs,
+) -> PairedComparison:
+    """Paired DMR comparison of two simulation results.
+
+    ``granularity`` pairs per ``"day"`` (robust) or per ``"period"``
+    (fine but correlated).  Negative ``diff`` means ``a`` has the
+    lower (better) DMR.
+    """
+    if granularity == "day":
+        series_a, series_b = a.dmr_by_day(), b.dmr_by_day()
+    elif granularity == "period":
+        series_a, series_b = a.dmr_series(), b.dmr_series()
+    else:
+        raise ValueError(
+            f"granularity must be 'day' or 'period', got {granularity!r}"
+        )
+    return paired_bootstrap_diff(series_a, series_b, **kwargs)
+
+
+def seed_sweep(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Dict[str, float]:
+    """Evaluate ``run(seed)`` over seeds; mean/std/min/max summary."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = np.array([run(s) for s in seeds], dtype=float)
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std(ddof=1)) if len(values) > 1 else 0.0,
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "n": float(len(values)),
+    }

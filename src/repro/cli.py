@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available benchmarks, schedulers and experiments.
+``simulate``
+    Run one scheduler on one benchmark over a chosen trace and print
+    the headline metrics.
+``experiment``
+    Run one of the paper's table/figure reproductions and print it.
+``export-trace``
+    Write a synthetic solar trace as a MIDC-style CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from . import quick_node
+from .schedulers import (
+    DVFSLoadMatchingScheduler,
+    GreedyEDFScheduler,
+    InterTaskScheduler,
+    IntraTaskScheduler,
+)
+from .sim.engine import simulate
+from .solar import four_day_trace, synthetic_trace
+from .solar.dataset import write_midc_csv
+from .tasks import paper_benchmarks
+from .timeline import Timeline
+
+__all__ = ["main", "build_parser"]
+
+_SCHEDULERS: Dict[str, Callable] = {
+    "asap": GreedyEDFScheduler,
+    "inter-task": InterTaskScheduler,
+    "intra-task": IntraTaskScheduler,
+    "dvfs": DVFSLoadMatchingScheduler,
+}
+
+_EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "overhead",
+)
+
+
+def _timeline(days: int) -> Timeline:
+    return Timeline(
+        num_days=days, periods_per_day=144, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+
+
+def _trace(days: int, seed: int):
+    if days == 4 and seed == 0:
+        return four_day_trace(_timeline(4))
+    return synthetic_trace(_timeline(days), seed=seed or 2016)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'15 solar-node deadline-aware scheduling "
+        "reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list benchmarks/schedulers/experiments")
+
+    sim = commands.add_parser("simulate", help="run one scheduler")
+    sim.add_argument(
+        "--benchmark", default="WAM", choices=sorted(paper_benchmarks())
+    )
+    sim.add_argument(
+        "--scheduler", default="intra-task", choices=sorted(_SCHEDULERS)
+    )
+    sim.add_argument("--days", type=int, default=4)
+    sim.add_argument(
+        "--seed", type=int, default=0,
+        help="weather seed (0 + 4 days = the paper's canonical days)",
+    )
+
+    exp = commands.add_parser("experiment", help="reproduce a table/figure")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+
+    export = commands.add_parser(
+        "export-trace", help="write synthetic weather as MIDC CSV"
+    )
+    export.add_argument("--days", type=int, default=4)
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--out", required=True)
+    return parser
+
+
+def _cmd_list(out) -> int:
+    print("benchmarks: ", ", ".join(sorted(paper_benchmarks())), file=out)
+    print("schedulers: ", ", ".join(sorted(_SCHEDULERS)), file=out)
+    print("experiments:", ", ".join(_EXPERIMENTS), file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    graph = paper_benchmarks()[args.benchmark]
+    trace = _trace(args.days, args.seed)
+    scheduler = _SCHEDULERS[args.scheduler]()
+    node = quick_node(graph)
+    result = simulate(node, graph, trace, scheduler, strict=False)
+    print(f"benchmark:          {args.benchmark}", file=out)
+    print(f"scheduler:          {scheduler.name}", file=out)
+    print(f"days:               {args.days}", file=out)
+    print(f"DMR:                {result.dmr:.4f}", file=out)
+    print(f"energy utilisation: {result.energy_utilization:.4f}", file=out)
+    print(
+        f"per-day DMR:        "
+        + ", ".join(f"{x:.3f}" for x in result.dmr_by_day()),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from . import experiments as exp
+
+    runners = {
+        "fig1": exp.fig1_motivation.run,
+        "fig2": exp.fig2_sizing.run,
+        "fig5": exp.fig5_regulators.run,
+        "fig6": exp.fig6_dbn.run,
+        "fig7": exp.fig7_solar.run,
+        "table2": exp.table2_migration.run,
+        "fig8": exp.fig8_daily.run,
+        "fig9": exp.fig9_monthly.run,
+        "fig10a": exp.fig10a_prediction.run,
+        "fig10b": exp.fig10b_capacitors.run,
+        "overhead": exp.overhead.run,
+    }
+    table = runners[args.name]()
+    print(table.render(), file=out)
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    trace = _trace(args.days, args.seed)
+    write_midc_csv(args.out, trace)
+    print(
+        f"wrote {trace.timeline.total_slots} rows covering "
+        f"{args.days} day(s) to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "simulate":
+            return _cmd_simulate(args, out)
+        if args.command == "experiment":
+            return _cmd_experiment(args, out)
+        if args.command == "export-trace":
+            return _cmd_export(args, out)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly
+        # the way well-behaved Unix tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""The paper's contribution: offline optimisation, DBN, online scheduler."""
+
+from .period_profile import (
+    PeriodProfile,
+    PeriodProfiler,
+    build_schedule_matrix,
+    closed_subsets,
+)
+from .longterm import (
+    DPConfig,
+    LongTermOptimizer,
+    LongTermPlan,
+    StorageGrid,
+    TrainingSample,
+    trace_period_matrix,
+)
+from .lut import LookupTable, LUTEntry, solar_classes
+from .features import ALPHA_SCALE, FeatureCodec
+from .ann import DBN, RBM, HeadSpec, MultiHeadMLP
+from .online import (
+    CoarsePolicy,
+    DBNPolicy,
+    HeuristicPolicy,
+    NearestSamplePolicy,
+    ProposedScheduler,
+    close_subset,
+    fine_grained_decision,
+)
+from .optimal import StaticOptimalScheduler
+from .horizon import RecedingHorizonScheduler
+from .offline import OfflinePipeline, TrainedPolicy, asap_load_profile
+from .overhead import OverheadModel, OverheadReport
+
+__all__ = [
+    "PeriodProfile",
+    "PeriodProfiler",
+    "build_schedule_matrix",
+    "closed_subsets",
+    "DPConfig",
+    "StorageGrid",
+    "TrainingSample",
+    "LongTermPlan",
+    "LongTermOptimizer",
+    "trace_period_matrix",
+    "LookupTable",
+    "LUTEntry",
+    "solar_classes",
+    "FeatureCodec",
+    "ALPHA_SCALE",
+    "RBM",
+    "HeadSpec",
+    "MultiHeadMLP",
+    "DBN",
+    "CoarsePolicy",
+    "DBNPolicy",
+    "NearestSamplePolicy",
+    "HeuristicPolicy",
+    "ProposedScheduler",
+    "close_subset",
+    "fine_grained_decision",
+    "StaticOptimalScheduler",
+    "RecedingHorizonScheduler",
+    "OfflinePipeline",
+    "TrainedPolicy",
+    "asap_load_profile",
+    "OverheadModel",
+    "OverheadReport",
+]

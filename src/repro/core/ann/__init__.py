@@ -1,0 +1,7 @@
+"""From-scratch numpy ANN substrate: RBM, multi-head BPN, DBN."""
+
+from .rbm import RBM
+from .network import HeadSpec, MultiHeadMLP
+from .dbn import DBN
+
+__all__ = ["RBM", "HeadSpec", "MultiHeadMLP", "DBN"]

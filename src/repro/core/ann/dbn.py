@@ -1,0 +1,151 @@
+"""Deep belief network (Figure 6 of the paper).
+
+Greedy layerwise RBM pretraining extracts features from the inputs
+(last period's solar shape, capacitor voltages, accumulated DMR); a
+multi-head backpropagation network on top produces the outputs
+(capacitor of the day, scheduling-pattern index α, tasks to execute).
+``fit`` runs both phases; ``predict`` is the online forward pass the
+node executes each period.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .network import HeadSpec, MultiHeadMLP
+from .rbm import RBM
+
+__all__ = ["DBN"]
+
+
+class DBN:
+    """Stacked-RBM pretrained, backprop fine-tuned network.
+
+    Parameters
+    ----------
+    input_size:
+        Width of the (normalised) input vector.
+    hidden_sizes:
+        Sizes of the hidden feature layers (each pretrained as an RBM).
+    heads:
+        Output layout (capacitor classes, α, task bits).
+    seed:
+        Reproducible initialisation/sampling.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_sizes: Sequence[int],
+        heads: HeadSpec,
+        seed: int = 0,
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.heads = heads
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.network = MultiHeadMLP(
+            input_size, hidden_sizes, heads, rng=np.random.default_rng(seed + 1)
+        )
+        self.rbms: List[RBM] = []
+        self.pretrain_errors: List[np.ndarray] = []
+        self.finetune_losses: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        x: np.ndarray,
+        epochs: int = 15,
+        learning_rate: float = 0.05,
+        batch_size: int = 32,
+    ) -> None:
+        """Greedy layerwise unsupervised pretraining."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(
+                f"x must be (samples, {self.input_size}), got {x.shape}"
+            )
+        self.rbms = []
+        self.pretrain_errors = []
+        representation = x
+        fan_in = self.input_size
+        for i, width in enumerate(self.hidden_sizes):
+            rbm = RBM(fan_in, width, rng=np.random.default_rng(self.seed + 10 + i))
+            errs = rbm.train(
+                representation,
+                epochs=epochs,
+                learning_rate=learning_rate,
+                batch_size=batch_size,
+            )
+            self.rbms.append(rbm)
+            self.pretrain_errors.append(errs)
+            representation = rbm.hidden_probs(representation)
+            fan_in = width
+        self.network.load_pretrained(self.rbms)
+
+    def finetune(
+        self,
+        x: np.ndarray,
+        cap_targets: np.ndarray,
+        alpha_targets: np.ndarray,
+        te_targets: np.ndarray,
+        epochs: int = 150,
+        learning_rate: float = 0.05,
+        batch_size: int = 32,
+    ) -> None:
+        """Supervised backprop on the full network."""
+        self.finetune_losses = self.network.train(
+            x,
+            cap_targets,
+            alpha_targets,
+            te_targets,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+        )
+
+    def fit(
+        self,
+        x: np.ndarray,
+        cap_targets: np.ndarray,
+        alpha_targets: np.ndarray,
+        te_targets: np.ndarray,
+        pretrain_epochs: int = 15,
+        finetune_epochs: int = 150,
+    ) -> None:
+        """Pretrain + fine-tune in one call."""
+        self.pretrain(x, epochs=pretrain_epochs)
+        self.finetune(
+            x, cap_targets, alpha_targets, te_targets, epochs=finetune_epochs
+        )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(cap_probs, alpha, te_probs)`` — see MultiHeadMLP."""
+        return self.network.predict(x)
+
+    def predict_one(
+        self, x: np.ndarray
+    ) -> Tuple[int, float, np.ndarray]:
+        """Decision for a single input: (capacitor, α, te bits)."""
+        cap_probs, alpha, te_probs = self.predict(np.atleast_2d(x))
+        return (
+            int(np.argmax(cap_probs[0])),
+            float(alpha[0]),
+            te_probs[0] >= 0.5,
+        )
+
+    # ------------------------------------------------------------------
+    def mac_count(self) -> int:
+        """Multiply-accumulate operations of one forward pass.
+
+        Used by the overhead model (Section 6.5): the on-node cost of
+        the coarse-grained analysis is dominated by these MACs.
+        """
+        sizes = [self.input_size, *self.hidden_sizes, self.heads.output_size]
+        return int(sum(a * b for a, b in zip(sizes[:-1], sizes[1:])))

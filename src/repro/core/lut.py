@@ -1,0 +1,249 @@
+"""The explicit lookup table of Eq. (13).
+
+Section 4.2 defines a LUT mapping per-period inputs — the DMR target,
+the period's solar profile, the selected capacitor and its initial
+voltage — to the optimised outputs: the minimum consumed storage
+energy ``E^c`` (Eq. 15), the executed-task flags ``te`` (Eq. 17) and
+the scheduling-pattern index ``α`` (Eq. 18).  "As the LUT has a
+limited number of items, we use the closest input in the LUT to
+approximate the real input."
+
+:class:`LookupTable` materialises exactly that: entries are built by
+the per-period optimiser over a discretised input grid (solar classes ×
+capacitors × voltage levels × DMR targets) and queried by nearest
+input.  The DBN (:mod:`repro.core.ann`) is the paper's compression of
+this table; keeping the explicit table around enables the LUT-vs-DBN
+ablation and documents the method's intermediate artefact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..energy.capacitor import SuperCapacitor
+from ..tasks.graph import TaskGraph
+from ..timeline import Timeline
+from .period_profile import PeriodProfiler
+
+__all__ = ["LUTEntry", "LookupTable", "solar_classes"]
+
+
+def solar_classes(
+    solar_periods: np.ndarray, num_classes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster period solar profiles into representative classes.
+
+    Plain k-means on the per-slot power vectors (seeded determinstic
+    init on energy quantiles).  Returns ``(centroids, assignment)``
+    with centroids shaped ``(num_classes, N_s)``.
+    """
+    solar_periods = np.asarray(solar_periods, dtype=float)
+    if solar_periods.ndim != 2:
+        raise ValueError(
+            f"solar_periods must be 2-D, got shape {solar_periods.shape}"
+        )
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    energies = solar_periods.sum(axis=1)
+    order = np.argsort(energies)
+    k = min(num_classes, len(solar_periods))
+    seeds = order[np.linspace(0, len(order) - 1, k).astype(int)]
+    centroids = solar_periods[seeds].copy()
+    assignment = np.zeros(len(solar_periods), dtype=int)
+    for _ in range(50):
+        distances = (
+            (solar_periods[:, None, :] - centroids[None, :, :]) ** 2
+        ).sum(axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment) and _ > 0:
+            break
+        assignment = new_assignment
+        for j in range(k):
+            members = solar_periods[assignment == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return centroids, assignment
+
+
+@dataclasses.dataclass(frozen=True)
+class LUTEntry:
+    """One row of the Eq. (13) table."""
+
+    dmr: float  # input: the period DMR target
+    solar_class: int  # input: index into the table's solar centroids
+    cap_index: int  # input: selected capacitor C_{h,i}
+    voltage: float  # input: V^sc at the period start
+    consumed_energy: float  # output: E^c (Eq. 15), joules drawn
+    te: np.ndarray  # output: executed tasks (Eq. 17)
+    alpha: float  # output: pattern-selection index (Eq. 18)
+    feasible: bool  # whether the capacitor can actually deliver
+
+
+class LookupTable:
+    """Discretised per-period optimisation results (Eq. 13–18).
+
+    Parameters
+    ----------
+    graph / timeline:
+        Workload and time structure.
+    capacitors:
+        The distributed bank.
+    num_solar_classes:
+        Representative solar profiles kept in the table.
+    num_voltage_levels:
+        Discretisation of the initial capacitor voltage per capacitor.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        timeline: Timeline,
+        capacitors: Sequence[SuperCapacitor],
+        num_solar_classes: int = 8,
+        num_voltage_levels: int = 5,
+        direct_efficiency: float = 0.98,
+    ) -> None:
+        if not capacitors:
+            raise ValueError("need at least one capacitor")
+        if num_voltage_levels < 2:
+            raise ValueError(
+                f"num_voltage_levels must be >= 2, got {num_voltage_levels}"
+            )
+        self.graph = graph
+        self.timeline = timeline
+        self.capacitors = tuple(capacitors)
+        self.num_solar_classes = num_solar_classes
+        self.num_voltage_levels = num_voltage_levels
+        self.profiler = PeriodProfiler(
+            graph, timeline, direct_efficiency=direct_efficiency
+        )
+        self.centroids: Optional[np.ndarray] = None
+        self.entries: List[LUTEntry] = []
+
+    # ------------------------------------------------------------------
+    def build(self, solar_periods: np.ndarray) -> "LookupTable":
+        """Populate the table from historical per-period solar data."""
+        self.centroids, _ = solar_classes(
+            solar_periods, self.num_solar_classes
+        )
+        self.entries = []
+        n = len(self.graph)
+        for class_idx, centroid in enumerate(self.centroids):
+            profile = self.profiler.profile(centroid)
+            for h, cap in enumerate(self.capacitors):
+                voltages = np.linspace(
+                    cap.v_cutoff, cap.v_full, self.num_voltage_levels
+                )
+                for v in voltages:
+                    usable = cap.energy_at(v) - cap.energy_at(cap.v_cutoff)
+                    for k in range(n + 1):
+                        if not profile.feasible[k]:
+                            continue
+                        need = float(profile.storage_need[k])
+                        eta = cap.discharge_efficiency(v)
+                        drawn = need / eta if eta > 0 else np.inf
+                        feasible = drawn <= usable + 1e-9
+                        self.entries.append(
+                            LUTEntry(
+                                dmr=profile.dmr_of(k),
+                                solar_class=class_idx,
+                                cap_index=h,
+                                voltage=float(v),
+                                consumed_energy=float(drawn)
+                                if np.isfinite(drawn)
+                                else float("inf"),
+                                te=profile.subsets[k].copy(),
+                                alpha=float(
+                                    np.clip(profile.alpha[k], 0.0, 5.0)
+                                )
+                                if k > 0
+                                else 0.0,
+                                feasible=bool(feasible),
+                            )
+                        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def classify_solar(self, solar_slots: np.ndarray) -> int:
+        """Nearest solar class for a per-slot power vector."""
+        if self.centroids is None:
+            raise RuntimeError("LUT not built; call build() first")
+        solar_slots = np.asarray(solar_slots, dtype=float)
+        distances = ((self.centroids - solar_slots[None, :]) ** 2).sum(axis=1)
+        return int(distances.argmin())
+
+    def query(
+        self,
+        dmr_target: float,
+        solar_slots: np.ndarray,
+        cap_index: int,
+        voltage: float,
+        feasible_only: bool = True,
+    ) -> Optional[LUTEntry]:
+        """Closest entry to the given (possibly off-grid) inputs.
+
+        Matches the paper's "closest input" rule: exact on the solar
+        class and capacitor, nearest on voltage, then the feasible
+        entry with the closest DMR at or below the target (falling back
+        to the closest overall).
+        """
+        if self.centroids is None:
+            raise RuntimeError("LUT not built; call build() first")
+        if not 0 <= cap_index < len(self.capacitors):
+            raise IndexError(f"cap_index {cap_index} out of range")
+        solar_class = self.classify_solar(solar_slots)
+        candidates = [
+            e
+            for e in self.entries
+            if e.solar_class == solar_class and e.cap_index == cap_index
+        ]
+        if feasible_only:
+            feasible = [e for e in candidates if e.feasible]
+            candidates = feasible or candidates
+        if not candidates:
+            return None
+        voltages = sorted({e.voltage for e in candidates})
+        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+        at_v = [e for e in candidates if e.voltage == nearest_v]
+        return min(at_v, key=lambda e: abs(e.dmr - dmr_target))
+
+    def best_for_budget(
+        self,
+        solar_slots: np.ndarray,
+        cap_index: int,
+        voltage: float,
+        energy_budget: float,
+    ) -> Optional[LUTEntry]:
+        """Lowest-DMR feasible entry whose ``E^c`` fits the budget.
+
+        This is how an online user of the raw table would pick the
+        period's task set: complete as much as the storage allowance
+        permits (Eq. 14's constraint).
+        """
+        if energy_budget < 0:
+            raise ValueError(
+                f"energy_budget must be >= 0, got {energy_budget}"
+            )
+        if self.centroids is None:
+            raise RuntimeError("LUT not built; call build() first")
+        solar_class = self.classify_solar(solar_slots)
+        candidates = [
+            e
+            for e in self.entries
+            if e.solar_class == solar_class
+            and e.cap_index == cap_index
+            and e.feasible
+            and e.consumed_energy <= energy_budget + 1e-9
+        ]
+        if not candidates:
+            return None
+        voltages = sorted({e.voltage for e in candidates})
+        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+        at_v = [e for e in candidates if e.voltage == nearest_v]
+        return min(at_v, key=lambda e: (e.dmr, e.consumed_energy))

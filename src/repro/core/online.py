@@ -1,0 +1,255 @@
+"""Online deadline-aware scheduling (Section 5 of the paper).
+
+Per period the **coarse** stage decides three things from the observed
+state (last period's solar, capacitor voltages, accumulated DMR): which
+capacitor to use, the scheduling-pattern index α, and the task subset
+``te`` to attempt.  The paper computes this with the offline-trained
+DBN; :class:`DBNPolicy` implements that, and two alternatives are
+provided for ablation (:class:`NearestSamplePolicy` — LUT-style
+nearest-neighbour over the training samples — and
+:class:`HeuristicPolicy` — a hand-written rule).
+
+Per slot the **fine** stage executes the subset.  Following Section
+5.2, when ``|1 - α| > δ`` the simple lazy inter-task pass is used (at
+night or under abundant sun the fine matching buys nothing); otherwise
+the intra-task load-matching pass runs.  Capacitor switches go through
+the PMU's Eq. (22) threshold rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..schedulers.base import Scheduler, nvp_filter
+from ..schedulers.greedy import must_run_now
+from ..schedulers.intratask import best_power_match
+from ..sim.views import PeriodStartView, SlotView
+from ..tasks.graph import TaskGraph
+from .ann.dbn import DBN
+from .features import FeatureCodec
+from .longterm import TrainingSample
+
+__all__ = [
+    "CoarsePolicy",
+    "DBNPolicy",
+    "NearestSamplePolicy",
+    "HeuristicPolicy",
+    "ProposedScheduler",
+    "fine_grained_decision",
+    "close_subset",
+]
+
+
+def close_subset(graph: TaskGraph, te: np.ndarray) -> np.ndarray:
+    """Dependence-close a task subset by adding missing ancestors."""
+    te = np.asarray(te, dtype=bool).copy()
+    for i in graph.topological_order()[::-1]:
+        if te[i]:
+            for p in graph.predecessors(i):
+                te[p] = True
+    return te
+
+
+def fine_grained_decision(
+    view: SlotView, selected: Set[int], intra_mode: bool
+) -> List[int]:
+    """The per-slot fine pass shared by the online schedulers.
+
+    ``intra_mode=True`` runs the load-matching pass of [9] restricted
+    to the selected subset; ``False`` runs the cheap lazy inter-task
+    pass (urgent tasks plus whatever current solar fully covers).
+    Urgent (slack-exhausted) tasks always run.
+    """
+    ready = [t for t in view.ready if t in selected]
+    if not ready:
+        return []
+    ready.sort(key=lambda i: (view.deadline_slots[i], i))
+    per_nvp = nvp_filter(view.graph, ready)
+
+    urgent = [t for t in per_nvp if must_run_now(view, t)]
+    chosen = list(urgent)
+    load = sum(view.graph.tasks[t].power for t in chosen)
+    optional = [t for t in per_nvp if t not in urgent]
+
+    if intra_mode:
+        budget = max(view.solar_power - load, 0.0)
+        powers = [view.graph.tasks[t].power for t in optional]
+        for idx in best_power_match(powers, budget):
+            chosen.append(optional[idx])
+    else:
+        for t in optional:
+            extra = view.graph.tasks[t].power
+            if load + extra <= view.solar_power + 1e-12:
+                chosen.append(t)
+                load += extra
+    return chosen
+
+
+class CoarsePolicy(abc.ABC):
+    """Once-per-period decision: (capacitor, α, task subset)."""
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        prev_solar: np.ndarray,
+        voltages: np.ndarray,
+        accumulated_dmr: float,
+    ) -> Tuple[int, float, np.ndarray]:
+        """Return ``(capacitor_index, alpha, te_bool_array)``."""
+
+
+class DBNPolicy(CoarsePolicy):
+    """The paper's coarse stage: a trained DBN forward pass."""
+
+    def __init__(self, dbn: DBN, codec: FeatureCodec) -> None:
+        self.dbn = dbn
+        self.codec = codec
+
+    def decide(
+        self,
+        prev_solar: np.ndarray,
+        voltages: np.ndarray,
+        accumulated_dmr: float,
+    ) -> Tuple[int, float, np.ndarray]:
+        x = self.codec.encode_input(prev_solar, voltages, accumulated_dmr)
+        cap, alpha_scaled, te = self.dbn.predict_one(x)
+        return cap, self.codec.decode_alpha(alpha_scaled), te
+
+
+class NearestSamplePolicy(CoarsePolicy):
+    """LUT-style ablation: nearest training sample in feature space.
+
+    This is what Eq. (13) would do with the raw LUT ("we use the
+    closest input in the LUT to approximate the real input"); the DBN
+    replaces it with a compact learned map.
+    """
+
+    def __init__(
+        self, samples: Sequence[TrainingSample], codec: FeatureCodec
+    ) -> None:
+        if not samples:
+            raise ValueError("need at least one sample")
+        self.samples = list(samples)
+        self.codec = codec
+        self._matrix, _, self._alphas, self._tes = codec.encode_samples(
+            self.samples
+        )
+        self._caps = np.array([s.cap_index for s in self.samples])
+
+    def decide(
+        self,
+        prev_solar: np.ndarray,
+        voltages: np.ndarray,
+        accumulated_dmr: float,
+    ) -> Tuple[int, float, np.ndarray]:
+        x = self.codec.encode_input(prev_solar, voltages, accumulated_dmr)
+        distances = ((self._matrix - x[None, :]) ** 2).sum(axis=1)
+        best = int(np.argmin(distances))
+        return (
+            int(self._caps[best]),
+            self.codec.decode_alpha(self._alphas[best]),
+            self._tes[best] >= 0.5,
+        )
+
+
+class HeuristicPolicy(CoarsePolicy):
+    """Hand-written coarse rule (no offline stage needed).
+
+    Attempt everything when stored + expected solar covers the full
+    set, otherwise shed the most expensive tasks; pick the capacitor
+    whose usable capacity best matches the expected surplus.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        capacitors,
+        period_seconds: float,
+        reserve_factor: float = 0.7,
+    ) -> None:
+        self.graph = graph
+        self.capacitors = tuple(capacitors)
+        self.period_seconds = period_seconds
+        self.reserve_factor = reserve_factor
+        self._by_cost = sorted(
+            range(len(graph)), key=lambda i: graph.tasks[i].energy
+        )
+
+    def decide(
+        self,
+        prev_solar: np.ndarray,
+        voltages: np.ndarray,
+        accumulated_dmr: float,
+    ) -> Tuple[int, float, np.ndarray]:
+        expected_solar = float(np.mean(prev_solar)) * self.period_seconds
+        stored = sum(
+            max(cap.energy_at(v) - cap.energy_at(cap.v_cutoff), 0.0)
+            for cap, v in zip(self.capacitors, voltages)
+        )
+        budget = expected_solar + self.reserve_factor * stored
+        te = np.zeros(len(self.graph), dtype=bool)
+        spent = 0.0
+        for i in self._by_cost:
+            cost = self.graph.tasks[i].energy
+            if spent + cost <= budget:
+                te[i] = True
+                spent += cost
+        te = close_subset(self.graph, te)
+        alpha = spent / expected_solar if expected_solar > 0 else 5.0
+        surplus = max(expected_solar - spent, 0.0)
+        capacities = np.array(
+            [c.usable_capacity for c in self.capacitors]
+        )
+        cap = int(np.argmin(np.abs(capacities - max(surplus, stored))))
+        return cap, float(alpha), te
+
+
+class ProposedScheduler(Scheduler):
+    """The paper's online algorithm: coarse policy + δ-selected fine pass."""
+
+    name = "proposed"
+
+    def __init__(
+        self,
+        policy: CoarsePolicy,
+        delta: float = 0.5,
+        name: Optional[str] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        policy:
+            The coarse per-period decision model (DBN in the paper).
+        delta:
+            δ of Section 5.2: when ``|1 - α| > delta`` the cheap
+            inter-task pass replaces the intra-task matching.
+        """
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        self.policy = policy
+        self.delta = delta
+        if name is not None:
+            self.name = name
+        self._selected: Set[int] = set()
+        self._intra_mode = True
+
+    def on_period_start(self, view: PeriodStartView) -> None:
+        prev = (
+            view.last_period_powers
+            if view.last_period_powers is not None
+            else np.zeros(view.timeline.slots_per_period)
+        )
+        cap, alpha, te = self.policy.decide(
+            prev, view.bank.voltages, view.accumulated_dmr
+        )
+        te = close_subset(view.graph, np.asarray(te, dtype=bool))
+        self._selected = set(np.flatnonzero(te).tolist())
+        self._intra_mode = abs(1.0 - alpha) <= self.delta
+        if 0 <= cap < len(view.bank.capacitances):
+            view.request_capacitor(cap)
+
+    def on_slot(self, view: SlotView) -> Sequence[int]:
+        return fine_grained_decision(view, self._selected, self._intra_mode)

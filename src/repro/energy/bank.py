@@ -1,0 +1,168 @@
+"""Distributed super capacitor bank with the paper's switching rule.
+
+The node carries ``H`` super capacitors of different sizes; the PMU
+connects one of them to the "store and use" channel at a time.  The
+online scheduler asks for the capacitor the DBN recommends, but
+switching away from a capacitor that still holds significant energy is
+wasteful — the remaining charge would strand or need a lossy transfer.
+Eq. (22) therefore only honours a switch request when the *active*
+capacitor's usable energy has dropped below a threshold ``E_th``.
+
+All capacitors self-discharge all the time; only the active one pays
+the parasitic drain of the connected monitoring/switch circuitry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .capacitor import CapacitorState, SuperCapacitor
+
+__all__ = ["CapacitorBank"]
+
+
+class CapacitorBank:
+    """``H`` distributed super capacitors, one active at a time.
+
+    Parameters
+    ----------
+    capacitors:
+        The bank, ordered; sizes are typically produced by
+        :func:`repro.energy.sizing.size_bank`.
+    initial_voltages:
+        Per-capacitor starting voltage; defaults to each cut-off
+        voltage (empty usable store).
+    active_index:
+        The capacitor connected at t=0.
+    """
+
+    def __init__(
+        self,
+        capacitors: Sequence[SuperCapacitor],
+        initial_voltages: Sequence[float] | None = None,
+        active_index: int = 0,
+    ) -> None:
+        if not capacitors:
+            raise ValueError("a capacitor bank needs at least one capacitor")
+        if initial_voltages is not None and len(initial_voltages) != len(
+            capacitors
+        ):
+            raise ValueError(
+                f"{len(initial_voltages)} initial voltages for "
+                f"{len(capacitors)} capacitors"
+            )
+        self.states: List[CapacitorState] = [
+            cap.fresh_state(
+                None if initial_voltages is None else initial_voltages[i]
+            )
+            for i, cap in enumerate(capacitors)
+        ]
+        if not 0 <= active_index < len(capacitors):
+            raise IndexError(
+                f"active_index {active_index} out of range "
+                f"[0, {len(capacitors)})"
+            )
+        self._active = active_index
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def active_index(self) -> int:
+        """Index of the capacitor wired to the store-and-use channel."""
+        return self._active
+
+    @property
+    def active(self) -> CapacitorState:
+        """The capacitor currently wired to the store-and-use channel."""
+        return self.states[self._active]
+
+    def voltages(self) -> np.ndarray:
+        """Terminal voltage of every capacitor, bank order."""
+        return np.array([s.voltage for s in self.states])
+
+    def usable_energies(self) -> np.ndarray:
+        """Usable (above cut-off) energy of every capacitor, joules."""
+        return np.array([s.usable_energy for s in self.states])
+
+    def total_stored(self) -> float:
+        """Sum of stored energy across the bank, joules."""
+        return float(sum(s.stored_energy for s in self.states))
+
+    def total_usable(self) -> float:
+        """Sum of usable energy across the bank, joules."""
+        return float(sum(s.usable_energy for s in self.states))
+
+    def capacitances(self) -> np.ndarray:
+        """Capacitance of every bank member, farads."""
+        return np.array([s.capacitor.capacitance for s in self.states])
+
+    # ------------------------------------------------------------------
+    def select(self, index: int) -> None:
+        """Unconditionally connect capacitor ``index``."""
+        if not 0 <= index < len(self.states):
+            raise IndexError(
+                f"index {index} out of range [0, {len(self.states)})"
+            )
+        if index != self._active:
+            self.switch_count += 1
+        self._active = index
+
+    def request_switch(self, index: int, energy_threshold: float) -> bool:
+        """Eq. (22): switch to ``index`` only if the active capacitor's
+        usable energy is below ``energy_threshold``.
+
+        Returns True when the switch happened (or was a no-op because
+        the requested capacitor is already active).
+        """
+        if energy_threshold < 0:
+            raise ValueError(
+                f"energy_threshold must be >= 0, got {energy_threshold}"
+            )
+        if index == self._active:
+            return True
+        if self.active.usable_energy < energy_threshold:
+            self.select(index)
+            return True
+        return False
+
+    def richest_index(self) -> int:
+        """Capacitor with the most usable energy (ties → smaller C)."""
+        energies = self.usable_energies()
+        return int(np.argmax(energies))
+
+    # ------------------------------------------------------------------
+    def leak_all(self, duration: float) -> float:
+        """Self-discharge every capacitor for ``duration`` seconds.
+
+        The parasitic (connected-circuitry) drain only applies to the
+        active capacitor; idle capacitors see pure self-leakage.
+        Returns the total energy lost.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        lost = 0.0
+        for i, state in enumerate(self.states):
+            before = state.stored_energy
+            if i == self._active:
+                state.leak(duration)
+            else:
+                # Idle capacitor: leakage without the parasitic term.
+                cap = state.capacitor
+                power = cap.leakage_power(state.voltage) - cap.parasitic_power
+                new_energy = max(before - max(power, 0.0) * duration, 0.0)
+                state.voltage = cap.voltage_at(new_energy)
+            lost += before - state.stored_energy
+        return lost
+
+    def __repr__(self) -> str:
+        caps = ", ".join(
+            f"{'*' if i == self._active else ''}{s.capacitor.capacitance:g}F@"
+            f"{s.voltage:.2f}V"
+            for i, s in enumerate(self.states)
+        )
+        return f"CapacitorBank([{caps}])"

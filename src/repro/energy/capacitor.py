@@ -1,0 +1,264 @@
+"""Super capacitor model: storage, leakage, cycle losses.
+
+Implements the storage element of the paper's Eq. (1)–(3): energy is
+``½CV²``; charging multiplies the incoming energy by
+``η_chr(V)·η_cycle(C)`` and is only possible below the full-charge
+voltage ``V_H``; discharging divides the delivered energy by
+``η_dis(V)·η_cycle(C)`` and is only possible above the cut-off voltage
+``V_L``; a voltage-dependent leakage power ``P_leak(V)`` drains the
+capacitor continuously.  Leakage follows the standard super-capacitor
+self-discharge model (Brunelli et al. [12]): the leakage current scales
+with both capacitance and terminal voltage, so ``P_leak = k·C·V²``,
+plus a small fixed parasitic term.
+
+:class:`SuperCapacitor` is the immutable device; :class:`CapacitorState`
+carries the mutable terminal voltage and implements the slot update.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .regulator import (
+    RegulatorCurve,
+    default_input_regulator,
+    default_output_regulator,
+)
+
+__all__ = ["SuperCapacitor", "CapacitorState"]
+
+#: Leakage coefficient ``k`` in ``P_leak = k·C·V**exp``; together with
+#: the default exponent this gives ~0.5 mW/F at the 5 V full-charge
+#: voltage but only ~20 µW/F at 2.4 V, matching the strongly
+#: voltage-dependent self-discharge of commodity super capacitors near
+#: their rated voltage [12] and calibrated so the migration
+#: efficiencies of the paper's Table 2 keep their shape (see
+#: benchmarks/bench_table2_migration.py).
+DEFAULT_LEAK_COEFF = 5.0e-7
+#: Voltage exponent of the leakage law; > 2 because the leakage
+#: *current* itself grows super-linearly near the rated voltage.
+DEFAULT_LEAK_EXPONENT = 4.3
+#: Fixed parasitic drain of the storage path when a capacitor is
+#: connected (monitor + switch leakage), watts.
+DEFAULT_PARASITIC_W = 2.0e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class SuperCapacitor:
+    """One physical super capacitor plus its conversion chain.
+
+    Parameters
+    ----------
+    capacitance:
+        ``C_h`` in farads.
+    v_full:
+        ``V_H``: full-charge voltage.
+    v_cutoff:
+        ``V_L``: cut-off voltage below which the output regulator
+        cannot operate.
+    cycle_efficiency:
+        ``η_cycle(C)``: average charge/discharge cycle efficiency of
+        the capacitor itself (ESR losses) [12].
+    leak_coeff:
+        Leakage coefficient ``k`` in ``P_leak = k·C·V**leak_exponent + p0``.
+    leak_exponent:
+        Voltage exponent of the leakage law.
+    parasitic_power:
+        Fixed drain ``p0`` while the capacitor is in circuit, watts.
+    input_regulator / output_regulator:
+        η_chr / η_dis efficiency curves (Figure 5).
+    """
+
+    capacitance: float
+    v_full: float = 5.0
+    v_cutoff: float = 1.0
+    cycle_efficiency: float = 0.85
+    leak_coeff: float = DEFAULT_LEAK_COEFF
+    leak_exponent: float = DEFAULT_LEAK_EXPONENT
+    parasitic_power: float = DEFAULT_PARASITIC_W
+    input_regulator: RegulatorCurve = dataclasses.field(
+        default_factory=default_input_regulator
+    )
+    output_regulator: RegulatorCurve = dataclasses.field(
+        default_factory=default_output_regulator
+    )
+
+    def __post_init__(self) -> None:
+        if not self.capacitance > 0:
+            raise ValueError(f"capacitance must be > 0, got {self.capacitance}")
+        if not 0.0 <= self.v_cutoff < self.v_full:
+            raise ValueError(
+                f"need 0 <= v_cutoff < v_full, got "
+                f"[{self.v_cutoff}, {self.v_full}]"
+            )
+        if not 0.0 < self.cycle_efficiency <= 1.0:
+            raise ValueError(
+                f"cycle_efficiency must be in (0, 1], got "
+                f"{self.cycle_efficiency}"
+            )
+        if self.leak_coeff < 0:
+            raise ValueError(f"leak_coeff must be >= 0, got {self.leak_coeff}")
+        if not self.leak_exponent > 0:
+            raise ValueError(
+                f"leak_exponent must be > 0, got {self.leak_exponent}"
+            )
+        if self.parasitic_power < 0:
+            raise ValueError(
+                f"parasitic_power must be >= 0, got {self.parasitic_power}"
+            )
+
+    # ------------------------------------------------------------------
+    def energy_at(self, voltage: float) -> float:
+        """Stored energy ``½CV²`` at a terminal voltage, joules."""
+        return 0.5 * self.capacitance * voltage * voltage
+
+    def voltage_at(self, energy: float) -> float:
+        """Terminal voltage holding the given stored energy."""
+        if energy < 0:
+            raise ValueError(f"energy must be >= 0, got {energy}")
+        return math.sqrt(2.0 * energy / self.capacitance)
+
+    @property
+    def usable_capacity(self) -> float:
+        """Max energy deliverable between ``V_H`` and ``V_L``, joules."""
+        return self.energy_at(self.v_full) - self.energy_at(self.v_cutoff)
+
+    def leakage_power(self, voltage: float) -> float:
+        """``P_leak(V)`` in watts."""
+        if voltage < 0:
+            raise ValueError(f"voltage must be >= 0, got {voltage}")
+        return (
+            self.leak_coeff * self.capacitance * voltage**self.leak_exponent
+            + self.parasitic_power
+        )
+
+    def charge_efficiency(self, voltage: float) -> float:
+        """``η_chr(V)·η_cycle(C)``: fraction of input energy stored."""
+        return self.input_regulator.efficiency(voltage) * self.cycle_efficiency
+
+    def discharge_efficiency(self, voltage: float) -> float:
+        """``η_dis(V)·η_cycle(C)``: delivered energy per stored energy."""
+        return self.output_regulator.efficiency(voltage) * self.cycle_efficiency
+
+    def fresh_state(self, voltage: float | None = None) -> "CapacitorState":
+        """A mutable state at the given (default: cut-off) voltage."""
+        v = self.v_cutoff if voltage is None else voltage
+        return CapacitorState(self, v)
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperCapacitor({self.capacitance:g} F, "
+            f"V=[{self.v_cutoff:g}, {self.v_full:g}] V)"
+        )
+
+
+class CapacitorState:
+    """Mutable terminal state of one super capacitor.
+
+    All mutators work in energy terms and keep the voltage inside
+    ``[0, V_H]``.  Charge/discharge are applied in ``substeps``
+    sub-increments so the voltage-dependent efficiencies track the
+    voltage trajectory within a slot rather than the slot-start value;
+    ``substeps=1`` reproduces the paper's coarse slot update Eq. (1).
+    """
+
+    def __init__(self, capacitor: SuperCapacitor, voltage: float) -> None:
+        if not 0.0 <= voltage <= capacitor.v_full + 1e-9:
+            raise ValueError(
+                f"initial voltage {voltage} outside [0, {capacitor.v_full}]"
+            )
+        self.capacitor = capacitor
+        self.voltage = float(min(voltage, capacitor.v_full))
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_energy(self) -> float:
+        """``½CV²``, joules."""
+        return self.capacitor.energy_at(self.voltage)
+
+    @property
+    def usable_energy(self) -> float:
+        """Energy above the cut-off voltage, joules (>= 0)."""
+        return max(
+            self.stored_energy - self.capacitor.energy_at(self.capacitor.v_cutoff),
+            0.0,
+        )
+
+    @property
+    def headroom(self) -> float:
+        """Storable energy before reaching ``V_H``, joules."""
+        return max(
+            self.capacitor.energy_at(self.capacitor.v_full) - self.stored_energy,
+            0.0,
+        )
+
+    def _set_energy(self, energy: float) -> None:
+        energy = min(
+            max(energy, 0.0), self.capacitor.energy_at(self.capacitor.v_full)
+        )
+        self.voltage = self.capacitor.voltage_at(energy)
+
+    # ------------------------------------------------------------------
+    def charge(self, energy_in: float, substeps: int = 4) -> float:
+        """Push ``energy_in`` joules of surplus into the capacitor.
+
+        Returns the energy actually *stored* (input × efficiency,
+        truncated at ``V_H``).  Input energy that cannot be stored
+        because the capacitor is full is lost (the direct channel has
+        nowhere else to put it).
+        """
+        if energy_in < 0:
+            raise ValueError(f"energy_in must be >= 0, got {energy_in}")
+        if substeps < 1:
+            raise ValueError(f"substeps must be >= 1, got {substeps}")
+        stored_total = 0.0
+        chunk = energy_in / substeps
+        for _ in range(substeps):
+            if self.voltage >= self.capacitor.v_full - 1e-12:
+                break
+            eta = self.capacitor.charge_efficiency(self.voltage)
+            stored = min(chunk * eta, self.headroom)
+            self._set_energy(self.stored_energy + stored)
+            stored_total += stored
+        return stored_total
+
+    def discharge(self, energy_needed: float, substeps: int = 4) -> float:
+        """Draw energy to deliver ``energy_needed`` joules to the load.
+
+        Returns the energy actually *delivered* (≤ ``energy_needed``);
+        the capacitor loses ``delivered / (η_dis·η_cycle)``.  Delivery
+        stops at the cut-off voltage.
+        """
+        if energy_needed < 0:
+            raise ValueError(f"energy_needed must be >= 0, got {energy_needed}")
+        if substeps < 1:
+            raise ValueError(f"substeps must be >= 1, got {substeps}")
+        delivered_total = 0.0
+        chunk = energy_needed / substeps
+        for _ in range(substeps):
+            if self.voltage <= self.capacitor.v_cutoff + 1e-12:
+                break
+            eta = self.capacitor.discharge_efficiency(self.voltage)
+            if eta <= 0:
+                break
+            drawn = min(chunk / eta, self.usable_energy)
+            delivered = drawn * eta
+            self._set_energy(self.stored_energy - drawn)
+            delivered_total += delivered
+        return delivered_total
+
+    def leak(self, duration: float) -> float:
+        """Apply leakage for ``duration`` seconds; returns energy lost."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        before = self.stored_energy
+        lost = self.capacitor.leakage_power(self.voltage) * duration
+        self._set_energy(before - lost)
+        return before - self.stored_energy
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacitorState({self.capacitor.capacitance:g} F @ "
+            f"{self.voltage:.3f} V, {self.stored_energy:.2f} J)"
+        )

@@ -1,0 +1,77 @@
+"""Input/output regulator efficiency models (Figure 5 of the paper).
+
+The "store and use" channel charges the selected super capacitor
+through an input regulator and discharges it through an output
+regulator.  The paper fits both efficiency curves to bench measurements
+(its Figure 5): efficiency collapses at low capacitor voltage and
+saturates towards a peak at the full-charge voltage.  We reproduce that
+shape with a Hill (saturating rational) curve
+
+``eta(V) = eta_max * V**p / (V**p + V_half**p)``
+
+whose three parameters are exposed so alternative regulators can be
+modelled.  The defaults are tuned so that the end-to-end migration
+efficiencies of Table 2 land in the paper's range (peak round-trip in
+the 40% region, collapsing below ~1.5 V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "RegulatorCurve",
+    "default_input_regulator",
+    "default_output_regulator",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegulatorCurve:
+    """Saturating efficiency-vs-voltage curve.
+
+    Parameters
+    ----------
+    eta_max:
+        Asymptotic efficiency at high capacitor voltage.
+    v_half:
+        Voltage at which efficiency reaches half of ``eta_max``.
+    exponent:
+        Steepness of the rise.
+    """
+
+    eta_max: float = 0.85
+    v_half: float = 1.2
+    exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eta_max <= 1.0:
+            raise ValueError(f"eta_max must be in (0, 1], got {self.eta_max}")
+        if not self.v_half > 0:
+            raise ValueError(f"v_half must be > 0, got {self.v_half}")
+        if not self.exponent > 0:
+            raise ValueError(f"exponent must be > 0, got {self.exponent}")
+
+    def efficiency(self, voltage: np.ndarray | float) -> np.ndarray | float:
+        """Conversion efficiency at the given capacitor voltage(s)."""
+        v = np.asarray(voltage, dtype=float)
+        if np.any(v < 0):
+            raise ValueError("voltage must be >= 0")
+        vp = v**self.exponent
+        eta = self.eta_max * vp / (vp + self.v_half**self.exponent)
+        return float(eta) if np.isscalar(voltage) else eta
+
+    def __call__(self, voltage: np.ndarray | float) -> np.ndarray | float:
+        return self.efficiency(voltage)
+
+
+def default_input_regulator() -> RegulatorCurve:
+    """η_chr: the charging (input) regulator of the tested node."""
+    return RegulatorCurve(eta_max=0.87, v_half=0.72, exponent=1.7)
+
+
+def default_output_regulator() -> RegulatorCurve:
+    """η_dis: the discharging (output) regulator of the tested node."""
+    return RegulatorCurve(eta_max=0.84, v_half=0.80, exponent=1.6)

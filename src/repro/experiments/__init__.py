@@ -1,0 +1,62 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+| Paper item   | Module                  |
+|--------------|-------------------------|
+| Figure 1     | ``fig1_motivation``     |
+| Figure 2     | ``fig2_sizing``         |
+| Figure 5     | ``fig5_regulators``     |
+| Figure 7     | ``fig7_solar``          |
+| Table 2      | ``table2_migration``    |
+| Figure 8     | ``fig8_daily``          |
+| Figure 9     | ``fig9_monthly``        |
+| Figure 10(a) | ``fig10a_prediction``   |
+| Figure 10(b) | ``fig10b_capacitors``   |
+| Section 6.5  | ``overhead``            |
+| (ablations)  | ``ablations``           |
+"""
+
+from .common import (
+    ExperimentTable,
+    default_timeline,
+    evaluation_suite,
+    train_policy,
+    training_trace,
+)
+from . import (
+    ablations,
+    report,
+    fig1_motivation,
+    fig2_sizing,
+    fig5_regulators,
+    fig6_dbn,
+    fig7_solar,
+    fig8_daily,
+    fig9_monthly,
+    fig10a_prediction,
+    fig10b_capacitors,
+    overhead,
+    table2_migration,
+    utilization_sweep,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "default_timeline",
+    "training_trace",
+    "train_policy",
+    "evaluation_suite",
+    "fig1_motivation",
+    "fig2_sizing",
+    "fig5_regulators",
+    "fig6_dbn",
+    "fig7_solar",
+    "table2_migration",
+    "fig8_daily",
+    "fig9_monthly",
+    "fig10a_prediction",
+    "fig10b_capacitors",
+    "overhead",
+    "ablations",
+    "utilization_sweep",
+    "report",
+]

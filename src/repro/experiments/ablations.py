@@ -1,0 +1,132 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ``run_eth`` — the Eq. (22) capacitor-switch threshold (never switch /
+  threshold / always switch);
+* ``run_delta`` — the δ intra/inter fine-pass selection (always intra /
+  threshold / always inter);
+* ``run_coarse_model`` — DBN vs LUT-nearest-neighbour vs hand-written
+  heuristic for the coarse per-period stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import (
+    DBNPolicy,
+    HeuristicPolicy,
+    NearestSamplePolicy,
+    ProposedScheduler,
+)
+from ..sim.engine import simulate
+from ..solar import synthetic_trace
+from ..tasks import wam
+from .common import ExperimentTable, default_timeline, train_policy
+
+__all__ = ["run_eth", "run_delta", "run_coarse_model"]
+
+EVAL_SEED = 2016
+
+
+def _eval_trace(num_days: int):
+    return synthetic_trace(default_timeline(num_days), seed=EVAL_SEED)
+
+
+def run_eth(
+    thresholds: Sequence[float] = (0.0, 0.5, 2.0, 8.0, 1e9),
+    num_days: int = 14,
+) -> ExperimentTable:
+    """Sweep E_th; 0 = always honour switches, huge = never block."""
+    graph = wam()
+    policy = train_policy(graph)
+    trace = _eval_trace(num_days)
+    rows = []
+    for eth in thresholds:
+        node = policy.make_node(switch_threshold=eth)
+        result = simulate(
+            node, graph, trace, policy.make_scheduler(), strict=False
+        )
+        label = "always-switch" if eth >= 1e8 else f"{eth:g}J"
+        rows.append(
+            [
+                label,
+                f"{result.dmr:.3f}",
+                f"{result.energy_utilization:.3f}",
+                str(node.bank.switch_count),
+            ]
+        )
+    return ExperimentTable(
+        title="Ablation: capacitor switch threshold E_th (Eq. 22)",
+        headers=["E_th", "DMR", "utilisation", "switches"],
+        rows=rows,
+        notes=[
+            "0J never switches once charged; a huge threshold switches on "
+            "every DBN request, stranding charged capacitors"
+        ],
+    )
+
+
+def run_delta(
+    deltas: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 1e9),
+    num_days: int = 14,
+) -> ExperimentTable:
+    """Sweep δ; 0 = (almost) always inter, huge = always intra."""
+    graph = wam()
+    policy = train_policy(graph)
+    trace = _eval_trace(num_days)
+    rows = []
+    for delta in deltas:
+        scheduler = ProposedScheduler(
+            DBNPolicy(policy.dbn, policy.codec), delta=delta
+        )
+        result = simulate(
+            policy.make_node(), graph, trace, scheduler, strict=False
+        )
+        label = "always-intra" if delta >= 1e8 else f"{delta:g}"
+        rows.append(
+            [label, f"{result.dmr:.3f}", f"{result.energy_utilization:.3f}"]
+        )
+    return ExperimentTable(
+        title="Ablation: intra/inter selection threshold delta (Sec. 5.2)",
+        headers=["delta", "DMR", "utilisation"],
+        rows=rows,
+        notes=["delta controls when the cheap inter-task pass replaces "
+               "the intra-task load matching"],
+    )
+
+
+def run_coarse_model(num_days: int = 14) -> ExperimentTable:
+    """DBN vs LUT nearest-neighbour vs heuristic coarse stage."""
+    graph = wam()
+    policy = train_policy(graph)
+    trace = _eval_trace(num_days)
+    policies = {
+        "DBN (paper)": DBNPolicy(policy.dbn, policy.codec),
+        "LUT nearest": NearestSamplePolicy(policy.samples, policy.codec),
+        "heuristic": HeuristicPolicy(
+            graph,
+            policy.capacitors,
+            period_seconds=trace.timeline.period_seconds,
+        ),
+    }
+    rows = []
+    for name, coarse in policies.items():
+        result = simulate(
+            policy.make_node(),
+            graph,
+            trace,
+            ProposedScheduler(coarse, delta=policy.delta, name=name),
+            strict=False,
+        )
+        rows.append(
+            [name, f"{result.dmr:.3f}", f"{result.energy_utilization:.3f}"]
+        )
+    return ExperimentTable(
+        title="Ablation: coarse per-period decision model",
+        headers=["coarse model", "DMR", "utilisation"],
+        rows=rows,
+        notes=[
+            "the DBN approximates the LUT with O(kB) of weights instead of "
+            "the full sample table (Sec. 5.1)"
+        ],
+    )

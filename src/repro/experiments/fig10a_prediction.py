@@ -1,0 +1,89 @@
+"""Figure 10(a): DMR and complexity vs solar prediction length.
+
+The paper sweeps the prediction length for random case 1 over a month:
+DMR improves with longer prediction up to a balance point (48 h in the
+paper, 68.9% DMR), then *degrades slightly* (70.2% at 96 h) because
+long-range solar prediction is inaccurate — while complexity keeps
+growing.  ``run`` reproduces the sweep with the receding-horizon
+scheduler driven by a WCMA predictor, reporting the measured DMR, the
+DP transitions evaluated (our complexity proxy) and the paper's
+theoretical complexity exponent for reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core import DPConfig, RecedingHorizonScheduler
+from ..sim.engine import simulate
+from ..solar import synthetic_trace
+from ..tasks import random_case
+from .common import ExperimentTable, default_timeline, train_policy
+
+__all__ = ["run", "DEFAULT_HORIZON_HOURS"]
+
+DEFAULT_HORIZON_HOURS = (6, 12, 24, 48, 96)
+
+
+def run(
+    horizon_hours: Sequence[int] = DEFAULT_HORIZON_HOURS,
+    num_days: int = 14,
+    eval_seed: int = 2016,
+    replan_every: int = 12,
+) -> ExperimentTable:
+    graph = random_case(1)
+    timeline = default_timeline(num_days)
+    trace = synthetic_trace(timeline, seed=eval_seed)
+    policy = train_policy(graph)
+    periods_per_hour = timeline.periods_per_day / 24.0
+
+    rows = []
+    dmrs = []
+    for hours in horizon_hours:
+        horizon = max(int(round(hours * periods_per_hour)), 1)
+        scheduler = RecedingHorizonScheduler(
+            list(policy.capacitors),
+            horizon_periods=horizon,
+            replan_every=replan_every,
+            config=DPConfig(energy_buckets=41),
+            name=f"rh-{hours}h",
+        )
+        result = simulate(
+            policy.make_node(), graph, trace, scheduler, strict=False
+        )
+        dmrs.append(result.dmr)
+        # The paper's offline formulation enumerates
+        # O((N+1)^(Np*Nd) * H^Nd) combinations; report the exponent.
+        paper_exponent = horizon * np.log10(len(graph) + 1)
+        rows.append(
+            [
+                f"{hours}h",
+                f"{result.dmr:.3f}",
+                f"{scheduler.transitions_evaluated:,}",
+                f"10^{paper_exponent:.0f}",
+            ]
+        )
+
+    best = int(np.argmin(dmrs))
+    notes = [
+        f"balance point at {horizon_hours[best]}h "
+        f"(DMR {dmrs[best]:.3f}); paper finds one at 48h (68.9%)",
+        "longer horizons cost more (transitions column) while DMR "
+        "saturates or degrades with prediction error",
+    ]
+    if 0 < best < len(dmrs) - 1 or (best == len(dmrs) - 2):
+        notes.append("shape target: interior balance point (OK)")
+    elif best == len(dmrs) - 1:
+        notes.append(
+            "shape target: interior balance point (NOT REACHED — longest "
+            "horizon still best on this trace)"
+        )
+    return ExperimentTable(
+        title="Figure 10(a): DMR and complexity vs prediction length "
+        "(random case 1)",
+        headers=["prediction", "DMR", "DP transitions", "paper complexity"],
+        rows=rows,
+        notes=notes,
+    )

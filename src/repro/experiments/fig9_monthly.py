@@ -1,0 +1,75 @@
+"""Figure 9: DMR and energy utilisation over two months (WAM).
+
+The paper's long-horizon study: (a) the proposed per-day DMR tracks
+the optimal, and (b) — the counterintuitive result — the proposed
+scheduler's *energy utilisation* is LOWER than both baselines (by
+5.53% / 10.6% on average) because it deliberately migrates more energy
+through lossy capacitors for the sake of the night-time DMR.
+"""
+
+from __future__ import annotations
+
+from ..solar import synthetic_trace
+from ..tasks import wam
+from .common import (
+    ExperimentTable,
+    default_timeline,
+    evaluation_suite,
+    train_policy,
+)
+
+__all__ = ["run"]
+
+
+def run(num_days: int = 60, eval_seed: int = 2016) -> ExperimentTable:
+    graph = wam()
+    trace = synthetic_trace(default_timeline(num_days), seed=eval_seed)
+    policy = train_policy(graph)
+    results = evaluation_suite(graph, trace, policy)
+
+    headers = ["metric"] + list(results)
+    rows = [
+        ["long-term DMR"] + [f"{r.dmr:.3f}" for r in results.values()],
+        ["energy utilisation"]
+        + [f"{r.energy_utilization:.3f}" for r in results.values()],
+        ["migration efficiency"]
+        + [f"{r.migration_efficiency:.3f}" for r in results.values()],
+        ["storage-served J"]
+        + [f"{r.total_storage_energy:.0f}" for r in results.values()],
+    ]
+    # Weekly DMR series (figure 9a's time axis, coarsened).
+    for week in range(num_days // 7):
+        row = [f"week {week + 1} DMR"]
+        for r in results.values():
+            days = r.dmr_by_day()[week * 7 : (week + 1) * 7]
+            row.append(f"{days.mean():.3f}")
+        rows.append(row)
+
+    prop = results["proposed"]
+    inter = results["inter-task"]
+    intra = results["intra-task"]
+    opt = results["optimal"]
+    util_gap_inter = (
+        (inter.energy_utilization - prop.energy_utilization)
+        / max(inter.energy_utilization, 1e-9)
+    )
+    util_gap_intra = (
+        (intra.energy_utilization - prop.energy_utilization)
+        / max(intra.energy_utilization, 1e-9)
+    )
+    notes = [
+        f"proposed DMR within {abs(prop.dmr - opt.dmr):.3f} of optimal "
+        "(fig 9a shape)",
+        f"proposed utilisation lower than inter-task by "
+        f"{util_gap_inter * 100:.1f}% and intra-task by "
+        f"{util_gap_intra * 100:.1f}% (paper: 5.53% / 10.6%) — "
+        f"{'OK' if util_gap_inter > 0 and util_gap_intra > 0 else 'VIOLATED'}",
+        "higher energy utilisation does not imply better DMR "
+        f"({'OK' if inter.energy_utilization > prop.energy_utilization and inter.dmr > prop.dmr else 'VIOLATED'})",
+    ]
+    return ExperimentTable(
+        title=f"Figure 9: DMR and energy utilisation over {num_days} days (WAM)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,8 @@
+"""Node architecture substrate: NVPs, PMU and the assembled node."""
+
+from .nvp import NVP
+from .pmu import PMU, SlotEnergyFlow
+from .dvfs import DVFSModel
+from .node import SensorNode
+
+__all__ = ["NVP", "PMU", "SlotEnergyFlow", "DVFSModel", "SensorNode"]

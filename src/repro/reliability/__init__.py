@@ -1,0 +1,21 @@
+"""Fault injection and robustness evaluation."""
+
+from .faults import (
+    IntermittentShading,
+    PanelDegradation,
+    SupplyGlitches,
+    TraceFault,
+    age_capacitor,
+)
+from .harness import FaultScenario, RobustnessRow, robustness_report
+
+__all__ = [
+    "TraceFault",
+    "PanelDegradation",
+    "IntermittentShading",
+    "SupplyGlitches",
+    "age_capacitor",
+    "FaultScenario",
+    "RobustnessRow",
+    "robustness_report",
+]

@@ -1,0 +1,163 @@
+"""Fault models for robustness studies.
+
+Real deployments do not match the clean simulation: panels collect
+dust and age, foliage or debris shades them intermittently, connectors
+glitch, and super capacitors fade with cycling.  None of these appear
+in the paper's evaluation, but a downstream user adopting the
+scheduler needs to know how gracefully it degrades — so the repository
+ships the standard fault models and a harness
+(:mod:`repro.reliability.harness`) that replays any experiment under
+them.
+
+Trace-level faults transform a :class:`~repro.solar.trace.SolarTrace`
+into a degraded one; component-level faults derive aged device models.
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from ..energy.capacitor import SuperCapacitor
+from ..solar.trace import SolarTrace
+
+__all__ = [
+    "TraceFault",
+    "PanelDegradation",
+    "IntermittentShading",
+    "SupplyGlitches",
+    "age_capacitor",
+]
+
+
+class TraceFault(abc.ABC):
+    """A transformation degrading a solar trace."""
+
+    @abc.abstractmethod
+    def apply(self, trace: SolarTrace, rng: np.random.Generator) -> SolarTrace:
+        """Return the degraded trace (the input is never mutated)."""
+
+    def __call__(
+        self, trace: SolarTrace, rng: np.random.Generator
+    ) -> SolarTrace:
+        return self.apply(trace, rng)
+
+
+@dataclasses.dataclass(frozen=True)
+class PanelDegradation(TraceFault):
+    """Gradual output loss from dust accumulation / cell aging.
+
+    Output is derated by ``rate_per_day`` compounding daily, starting
+    from ``initial_factor`` (1.0 = pristine).  A month of desert dust
+    at 0.5%/day costs ~14% of output — easily the difference between a
+    schedulable and an unschedulable night.
+    """
+
+    rate_per_day: float = 0.005
+    initial_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate_per_day < 1.0:
+            raise ValueError(
+                f"rate_per_day must be in [0, 1), got {self.rate_per_day}"
+            )
+        if not 0.0 < self.initial_factor <= 1.0:
+            raise ValueError(
+                f"initial_factor must be in (0, 1], got {self.initial_factor}"
+            )
+
+    def apply(self, trace: SolarTrace, rng: np.random.Generator) -> SolarTrace:
+        days = trace.timeline.num_days
+        factors = self.initial_factor * (1.0 - self.rate_per_day) ** np.arange(
+            days
+        )
+        power = trace.power * factors[:, None, None]
+        return SolarTrace(trace.timeline, power)
+
+
+@dataclasses.dataclass(frozen=True)
+class IntermittentShading(TraceFault):
+    """Random shading episodes (foliage, wildlife, snow patches).
+
+    Each day draws ``episodes_per_day`` (Poisson) episodes; an episode
+    blocks ``depth`` of the panel for ``duration_slots`` consecutive
+    slots starting at a random flat slot of the day.
+    """
+
+    episodes_per_day: float = 2.0
+    duration_slots: int = 20
+    depth: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.episodes_per_day < 0:
+            raise ValueError("episodes_per_day must be >= 0")
+        if self.duration_slots < 1:
+            raise ValueError("duration_slots must be >= 1")
+        if not 0.0 < self.depth <= 1.0:
+            raise ValueError(f"depth must be in (0, 1], got {self.depth}")
+
+    def apply(self, trace: SolarTrace, rng: np.random.Generator) -> SolarTrace:
+        tl = trace.timeline
+        power = trace.power.copy()
+        slots_per_day = tl.slots_per_day
+        for day in range(tl.num_days):
+            flat_day = power[day].reshape(-1)
+            for _ in range(int(rng.poisson(self.episodes_per_day))):
+                start = int(rng.integers(slots_per_day))
+                stop = min(start + self.duration_slots, slots_per_day)
+                flat_day[start:stop] *= 1.0 - self.depth
+            power[day] = flat_day.reshape(
+                tl.periods_per_day, tl.slots_per_period
+            )
+        return SolarTrace(tl, power)
+
+
+@dataclasses.dataclass(frozen=True)
+class SupplyGlitches(TraceFault):
+    """Transient supply dropouts (connector/MPPT glitches).
+
+    Every slot independently drops to zero with ``probability``.
+    """
+
+    probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def apply(self, trace: SolarTrace, rng: np.random.Generator) -> SolarTrace:
+        mask = rng.random(trace.power.shape) >= self.probability
+        return SolarTrace(trace.timeline, trace.power * mask)
+
+
+def age_capacitor(
+    capacitor: SuperCapacitor,
+    service_days: float,
+    capacitance_fade_per_1000_days: float = 0.10,
+    leak_growth_per_1000_days: float = 0.50,
+) -> SuperCapacitor:
+    """An end-of-service derated copy of a super capacitor.
+
+    Electrochemical double-layer capacitors lose capacitance and gain
+    leakage with time and cycling; datasheet end-of-life is typically
+    -20% C.  The defaults fade 10% of C and grow leakage 50% per 1000
+    days of service, linearly.
+    """
+    if service_days < 0:
+        raise ValueError(f"service_days must be >= 0, got {service_days}")
+    if capacitance_fade_per_1000_days < 0 or leak_growth_per_1000_days < 0:
+        raise ValueError("fade/growth rates must be >= 0")
+    fade = min(
+        capacitance_fade_per_1000_days * service_days / 1000.0, 0.95
+    )
+    growth = leak_growth_per_1000_days * service_days / 1000.0
+    return dataclasses.replace(
+        capacitor,
+        capacitance=capacitor.capacitance * (1.0 - fade),
+        leak_coeff=capacitor.leak_coeff * (1.0 + growth),
+    )

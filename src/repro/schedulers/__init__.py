@@ -1,0 +1,28 @@
+"""Scheduling policies: baselines from the literature plus plan replay.
+
+The paper's proposed scheduler lives in :mod:`repro.core.online`; this
+package holds the interface and the comparison baselines.
+"""
+
+from .base import Scheduler, StaticLargestCapacitorMixin, nvp_filter
+from .greedy import GreedyEDFScheduler, must_run_now, slack_slots
+from .lsa import InterTaskScheduler, admit_by_energy
+from .intratask import IntraTaskScheduler, best_power_match
+from .dvfs import DVFSLoadMatchingScheduler
+from .plan import PlanScheduler, SchedulePlan
+
+__all__ = [
+    "Scheduler",
+    "StaticLargestCapacitorMixin",
+    "nvp_filter",
+    "DVFSLoadMatchingScheduler",
+    "GreedyEDFScheduler",
+    "slack_slots",
+    "must_run_now",
+    "InterTaskScheduler",
+    "admit_by_energy",
+    "IntraTaskScheduler",
+    "best_power_match",
+    "PlanScheduler",
+    "SchedulePlan",
+]

@@ -1,0 +1,21 @@
+"""Discrete-time simulator: runtime state, engine, records, metrics."""
+
+from .state import COMPLETION_EPS, PeriodRuntime
+from .views import BankView, PeriodEndView, PeriodStartView, SlotView
+from .recorder import PeriodRecord, SimulationResult, SlotArrays
+from .engine import InvalidDecisionError, SimulationEngine, simulate
+
+__all__ = [
+    "PeriodRuntime",
+    "COMPLETION_EPS",
+    "BankView",
+    "PeriodStartView",
+    "SlotView",
+    "PeriodEndView",
+    "PeriodRecord",
+    "SlotArrays",
+    "SimulationResult",
+    "SimulationEngine",
+    "simulate",
+    "InvalidDecisionError",
+]

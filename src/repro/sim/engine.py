@@ -1,0 +1,328 @@
+"""Slot-by-slot simulation engine.
+
+Drives a :class:`~repro.schedulers.base.Scheduler` over a solar trace
+on a :class:`~repro.node.node.SensorNode`:
+
+1. at each period start, a fresh :class:`PeriodRuntime` is created and
+   the scheduler's coarse hook runs (it may request a capacitor switch
+   through the PMU's Eq. (22) rule);
+2. at each slot start, deadlines falling at this boundary are checked
+   (Eq. 5), the scheduler picks tasks from the ready set, the engine
+   validates the pick (readiness Eq. 7, one task per NVP Eq. 9), the
+   PMU routes energy (direct channel first, storage for the deficit),
+   task progress advances by the powered fraction of the slot, and all
+   capacitors leak;
+3. at period end, unfinished tasks are marked missed, the period DMR
+   is recorded and the scheduler's feedback hook runs.
+
+Energy semantics of a brownout: when storage cannot cover the deficit,
+the load runs for the covered fraction of the slot and the NVPs retain
+progress (nonvolatility); the panel keeps charging the capacitor for
+the rest of the slot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..node.node import SensorNode
+from ..schedulers.base import Scheduler
+from ..solar.trace import SolarTrace
+from ..tasks.graph import TaskGraph
+from ..timeline import SlotIndex
+from .recorder import PeriodRecord, SimulationResult, SlotArrays
+from .state import PeriodRuntime
+from .views import BankView, PeriodEndView, PeriodStartView, SlotView
+
+__all__ = ["SimulationEngine", "simulate", "InvalidDecisionError"]
+
+
+class InvalidDecisionError(RuntimeError):
+    """A scheduler returned an illegal slot decision."""
+
+
+class SimulationEngine:
+    """Binds node, workload, trace and policy into one run.
+
+    Parameters
+    ----------
+    node:
+        The sensor node (panel, capacitor bank, PMU, NVPs).
+    graph:
+        The periodic task set.
+    trace:
+        Per-slot solar power at the panel output.
+    scheduler:
+        The policy under test.
+    strict:
+        When True (default) an illegal decision raises
+        :class:`InvalidDecisionError`; when False illegal entries are
+        silently dropped (useful for learned policies).
+    record_slots:
+        When True, dense per-slot arrays are kept in the result.
+    """
+
+    def __init__(
+        self,
+        node: SensorNode,
+        graph: TaskGraph,
+        trace: SolarTrace,
+        scheduler: Scheduler,
+        strict: bool = True,
+        record_slots: bool = False,
+    ) -> None:
+        if graph.num_nvps > node.num_nvps:
+            raise ValueError(
+                f"task set needs {graph.num_nvps} NVPs but the node has "
+                f"{node.num_nvps}"
+            )
+        self.node = node
+        self.graph = graph
+        self.trace = trace
+        self.timeline = trace.timeline
+        self.scheduler = scheduler
+        self.strict = strict
+        self.record_slots = record_slots
+
+    # ------------------------------------------------------------------
+    def _bank_view(self) -> BankView:
+        bank = self.node.bank
+        return BankView(
+            capacitances=bank.capacitances(),
+            voltages=bank.voltages(),
+            usable_energies=bank.usable_energies(),
+            active_index=bank.active_index,
+        )
+
+    def _validate(
+        self, decision: Sequence, ready: Sequence[int]
+    ) -> List[tuple]:
+        """Normalise a decision to ``[(task, level), ...]``.
+
+        Entries may be plain task indices (level 1.0) or
+        ``(task, level)`` pairs when the node supports DVFS.
+        """
+        ready_set = set(ready)
+        seen_nvps = set()
+        valid: List[tuple] = []
+        dvfs = self.node.dvfs
+        for entry in decision:
+            if isinstance(entry, tuple):
+                task, level = entry
+                task = int(task)
+                level = float(level)
+            else:
+                task, level = int(entry), 1.0
+            if level != 1.0 and (
+                dvfs is None or not dvfs.is_valid_level(level)
+            ):
+                if self.strict:
+                    raise InvalidDecisionError(
+                        f"frequency level {level} is not supported by the "
+                        "node"
+                    )
+                level = 1.0
+            if task not in ready_set:
+                if self.strict:
+                    raise InvalidDecisionError(
+                        f"task {task} is not ready (ready set: {sorted(ready_set)})"
+                    )
+                continue
+            nvp = self.graph.nvp_of(task)
+            if nvp in seen_nvps:
+                if self.strict:
+                    raise InvalidDecisionError(
+                        f"two tasks scheduled on NVP {nvp} in one slot"
+                    )
+                continue
+            seen_nvps.add(nvp)
+            valid.append((task, level))
+        return valid
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        tl = self.timeline
+        dt = tl.slot_seconds
+        self.scheduler.bind(tl, self.graph)
+
+        period_records: List[PeriodRecord] = []
+        slot_arrays: Optional[SlotArrays] = None
+        if self.record_slots:
+            n = tl.total_slots
+            slot_arrays = SlotArrays(
+                solar_power=np.zeros(n),
+                load_power=np.zeros(n),
+                run_fraction=np.zeros(n),
+                active_voltage=np.zeros(n),
+                active_index=np.zeros(n, dtype=int),
+            )
+
+        dmr_sum = 0.0
+        periods_done = 0
+        last_period_energy: Optional[float] = None
+        last_period_powers: Optional[np.ndarray] = None
+
+        for day, period in tl.iter_periods():
+            runtime = PeriodRuntime(self.graph, tl)
+            accumulated = dmr_sum / periods_done if periods_done else 0.0
+            self.scheduler.on_period_start(
+                PeriodStartView(
+                    timeline=tl,
+                    graph=self.graph,
+                    day=day,
+                    period=period,
+                    bank=self._bank_view(),
+                    accumulated_dmr=accumulated,
+                    last_period_energy=last_period_energy,
+                    last_period_powers=last_period_powers,
+                    request_capacitor=self.node.pmu.request_capacitor,
+                    force_capacitor=self.node.pmu.force_capacitor,
+                )
+            )
+
+            start_voltages = self.node.bank.voltages()
+            active_at_start = self.node.bank.active_index
+            solar_energy = load_energy = direct_energy = 0.0
+            storage_energy = charged_energy = offered_surplus = 0.0
+            leakage_energy = 0.0
+            brownouts = 0
+            period_powers = np.zeros(tl.slots_per_period)
+
+            for slot in range(tl.slots_per_period):
+                runtime.check_deadlines(slot)
+                solar_power = self.trace.slot_power(SlotIndex(day, period, slot))
+                period_powers[slot] = solar_power
+                ready = runtime.ready_tasks(slot)
+                decision = self.scheduler.on_slot(
+                    SlotView(
+                        timeline=tl,
+                        graph=self.graph,
+                        day=day,
+                        period=period,
+                        slot=slot,
+                        solar_power=solar_power,
+                        slot_seconds=dt,
+                        remaining=runtime.remaining.copy(),
+                        completed=runtime.completed,
+                        missed=runtime.missed.copy(),
+                        deadline_slots=runtime.deadline_slots.copy(),
+                        ready=ready,
+                        bank=self._bank_view(),
+                    )
+                )
+                chosen = self._validate(decision, ready)
+                dvfs = self.node.dvfs
+                load_power = float(
+                    sum(
+                        self.graph.tasks[i].power
+                        * (dvfs.power_factor(level) if dvfs else 1.0)
+                        for i, level in chosen
+                    )
+                )
+                flow = self.node.pmu.supply_slot(solar_power, load_power, dt)
+                runtime.advance_scaled(
+                    [
+                        (
+                            i,
+                            flow.run_fraction
+                            * dt
+                            * (dvfs.rate(level) if dvfs else 1.0),
+                        )
+                        for i, level in chosen
+                    ]
+                )
+                # NVP nonvolatility bookkeeping: a brownout checkpoints
+                # the affected cores (backup energy), the next powered
+                # slot restores them.  The energies are tiny (µJ, [13])
+                # but they come out of the storage path like any load.
+                cycle_cost = 0.0
+                active_nvps = {self.graph.nvp_of(i) for i, _ in chosen}
+                if flow.run_fraction < 1.0 - 1e-9 and chosen:
+                    brownouts += 1
+                    for k in active_nvps:
+                        cycle_cost += self.node.nvps[k].power_fail()
+                else:
+                    for k in active_nvps:
+                        cycle_cost += self.node.nvps[k].power_up()
+                if cycle_cost > 0:
+                    self.node.bank.active.discharge(cycle_cost)
+                lost = self.node.bank.leak_all(dt)
+
+                solar_energy += solar_power * dt
+                load_energy += flow.load_energy
+                direct_energy += flow.direct_energy
+                storage_energy += flow.storage_energy
+                charged_energy += flow.charged_energy
+                offered_surplus += flow.offered_surplus
+                leakage_energy += lost
+
+                if slot_arrays is not None:
+                    flat = tl.flat_slot(SlotIndex(day, period, slot))
+                    slot_arrays.solar_power[flat] = solar_power
+                    slot_arrays.load_power[flat] = load_power
+                    slot_arrays.run_fraction[flat] = flow.run_fraction
+                    slot_arrays.active_voltage[flat] = (
+                        self.node.bank.active.voltage
+                    )
+                    slot_arrays.active_index[flat] = self.node.bank.active_index
+
+            runtime.check_deadlines(tl.slots_per_period)
+            runtime.finalize()
+            dmr = runtime.dmr
+            dmr_sum += dmr
+            periods_done += 1
+            last_period_energy = solar_energy
+            last_period_powers = period_powers
+
+            record = PeriodRecord(
+                day=day,
+                period=period,
+                dmr=dmr,
+                miss_count=runtime.miss_count,
+                executed=runtime.started.copy(),
+                solar_energy=solar_energy,
+                load_energy=load_energy,
+                direct_energy=direct_energy,
+                storage_energy=storage_energy,
+                charged_energy=charged_energy,
+                offered_surplus=offered_surplus,
+                leakage_energy=leakage_energy,
+                brownout_slots=brownouts,
+                start_voltages=start_voltages,
+                active_index=active_at_start,
+            )
+            period_records.append(record)
+            self.scheduler.on_period_end(
+                PeriodEndView(
+                    day=day,
+                    period=period,
+                    dmr=dmr,
+                    missed=runtime.missed.copy(),
+                    observed_energy=solar_energy,
+                    observed_powers=period_powers.copy(),
+                    bank=self._bank_view(),
+                )
+            )
+
+        return SimulationResult(
+            timeline=tl,
+            scheduler_name=self.scheduler.name,
+            periods=period_records,
+            slots=slot_arrays,
+        )
+
+
+def simulate(
+    node: SensorNode,
+    graph: TaskGraph,
+    trace: SolarTrace,
+    scheduler: Scheduler,
+    strict: bool = True,
+    record_slots: bool = False,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SimulationEngine`."""
+    return SimulationEngine(
+        node, graph, trace, scheduler, strict=strict, record_slots=record_slots
+    ).run()

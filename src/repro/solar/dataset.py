@@ -1,0 +1,175 @@
+"""MIDC-style irradiance dataset I/O.
+
+The paper drives its experiments from the NREL Measurement and
+Instrumentation Data Center (MIDC) [15].  MIDC stations export CSV
+files with a ``DATE``/local-time column pair and named irradiance
+channels (e.g. ``Global Horizontal [W/m^2]``) sampled at one minute.
+This module reads that format into a :class:`~repro.solar.trace.
+SolarTrace` (so real station downloads drop straight into every
+experiment) and writes synthetic traces back out in the same format
+(so the repository's generated weather can be inspected with the same
+tooling as real data).
+
+Only the standard library ``csv`` module is used; values are averaged
+into the timeline's slots, missing/negative readings are treated as
+zero (MIDC uses ``-9999``-style sentinels at night).
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..timeline import SlotIndex, Timeline
+from .panel import SolarPanel
+from .trace import SolarTrace
+
+__all__ = ["read_midc_csv", "write_midc_csv", "MIDCFormatError"]
+
+#: Column header used for global horizontal irradiance.
+GHI_COLUMN = "Global Horizontal [W/m^2]"
+DATE_COLUMN = "DATE (MM/DD/YYYY)"
+TIME_COLUMN = "MST"
+
+
+class MIDCFormatError(ValueError):
+    """Raised when a CSV does not look like a MIDC export."""
+
+
+def _parse_time(date_text: str, time_text: str) -> Tuple[_dt.date, float]:
+    try:
+        date = _dt.datetime.strptime(date_text.strip(), "%m/%d/%Y").date()
+    except ValueError as exc:
+        raise MIDCFormatError(f"bad date {date_text!r}") from exc
+    time_text = time_text.strip()
+    try:
+        parts = time_text.split(":")
+        if len(parts) == 2:
+            hours, minutes = parts
+            secs = 0
+        elif len(parts) == 3:
+            hours, minutes, sec_text = parts
+            secs = int(sec_text)
+        else:
+            raise ValueError(time_text)
+        seconds = int(hours) * 3600.0 + int(minutes) * 60.0 + float(secs)
+    except ValueError as exc:
+        raise MIDCFormatError(f"bad time {time_text!r}") from exc
+    if not 0.0 <= seconds < 86400.0:
+        raise MIDCFormatError(f"time {time_text!r} out of range")
+    return date, seconds
+
+
+def read_midc_csv(
+    path: Union[str, Path],
+    timeline: Timeline,
+    panel: Optional[SolarPanel] = None,
+    ghi_column: str = GHI_COLUMN,
+) -> SolarTrace:
+    """Load a MIDC CSV into a slot-resampled power trace.
+
+    The file must cover at least ``timeline.num_days`` distinct days;
+    readings are averaged per slot (using the slot's wall-clock span),
+    empty slots fall back to 0 W/m², and irradiance is converted to
+    electrical power through ``panel``.
+    """
+    path = Path(path)
+    panel = panel or SolarPanel()
+
+    by_day: Dict[_dt.date, List[Tuple[float, float]]] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise MIDCFormatError(f"{path} is empty")
+        missing = {DATE_COLUMN, TIME_COLUMN, ghi_column} - set(
+            reader.fieldnames
+        )
+        if missing:
+            raise MIDCFormatError(
+                f"{path} is missing MIDC columns: {sorted(missing)}"
+            )
+        for row in reader:
+            date, seconds = _parse_time(row[DATE_COLUMN], row[TIME_COLUMN])
+            try:
+                value = float(row[ghi_column])
+            except (TypeError, ValueError):
+                value = 0.0
+            by_day.setdefault(date, []).append((seconds, max(value, 0.0)))
+
+    days = sorted(by_day)
+    if len(days) < timeline.num_days:
+        raise MIDCFormatError(
+            f"{path} covers {len(days)} day(s); timeline needs "
+            f"{timeline.num_days}"
+        )
+
+    power = np.zeros(
+        (timeline.num_days, timeline.periods_per_day,
+         timeline.slots_per_period)
+    )
+    for day_index in range(timeline.num_days):
+        samples = sorted(by_day[days[day_index]])
+        times = np.array([s for s, _ in samples])
+        values = np.array([v for _, v in samples])
+        for period in range(timeline.periods_per_day):
+            for slot in range(timeline.slots_per_period):
+                start = timeline.slot_time_of_day(
+                    SlotIndex(day_index, period, slot)
+                )
+                end = start + timeline.slot_seconds
+                mask = (times >= start) & (times < end)
+                if mask.any():
+                    ghi = float(values[mask].mean())
+                else:
+                    # No reading inside the slot: nearest sample.
+                    nearest = int(np.argmin(np.abs(times - start)))
+                    ghi = float(values[nearest])
+                power[day_index, period, slot] = panel.power(ghi)
+    return SolarTrace(timeline, power)
+
+
+def write_midc_csv(
+    path: Union[str, Path],
+    trace: SolarTrace,
+    panel: Optional[SolarPanel] = None,
+    start_date: _dt.date = _dt.date(2014, 1, 1),
+    ghi_column: str = GHI_COLUMN,
+) -> None:
+    """Export a power trace as a MIDC-style CSV.
+
+    Electrical power is converted back to GHI through ``panel`` (the
+    inverse of :func:`read_midc_csv`), one row per slot.
+    """
+    path = Path(path)
+    panel = panel or SolarPanel()
+    scale = panel.area_m2 * panel.efficiency * panel.harvesting_factor
+    timeline = trace.timeline
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([DATE_COLUMN, TIME_COLUMN, ghi_column])
+        for day in range(timeline.num_days):
+            date = start_date + _dt.timedelta(days=day)
+            for period in range(timeline.periods_per_day):
+                for slot in range(timeline.slots_per_period):
+                    seconds = timeline.slot_time_of_day(
+                        SlotIndex(day, period, slot)
+                    )
+                    hh = int(seconds // 3600)
+                    mm = int((seconds % 3600) // 60)
+                    ss = int(round(seconds % 60))
+                    # MIDC's native exports are minute-based (HH:MM);
+                    # sub-minute slots need the extended form.
+                    stamp = (
+                        f"{hh:02d}:{mm:02d}"
+                        if ss == 0
+                        else f"{hh:02d}:{mm:02d}:{ss:02d}"
+                    )
+                    ghi = trace.power[day, period, slot] / scale
+                    writer.writerow(
+                        [date.strftime("%m/%d/%Y"), stamp, f"{ghi:.3f}"]
+                    )

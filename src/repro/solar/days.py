@@ -1,0 +1,236 @@
+"""Day archetypes and multi-day synthetic weather.
+
+Figure 7 of the paper selects the solar power of four individual days
+"representing different patterns in a whole year" for the daily tests,
+and two months of data for the monthly tests.  This module provides:
+
+* four scripted day archetypes (clear summer day, morning-cloud spring
+  day, broken-cloud day, overcast winter day) ordered by decreasing
+  harvestable energy, matching the paper's Day 1 → Day 4;
+* seeded multi-day synthetic weather built from a day-type Markov chain
+  plus the :class:`~repro.solar.clouds.CloudProcess`, used for the
+  monthly experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..timeline import Timeline
+from .clouds import CloudProcess, SkyState
+from .irradiance import ClearSkyModel
+from .panel import SolarPanel
+from .trace import SolarTrace
+
+__all__ = [
+    "DayArchetype",
+    "FOUR_DAYS",
+    "four_day_trace",
+    "archetype_trace",
+    "synthetic_trace",
+]
+
+_HOUR = 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DayArchetype:
+    """A scripted weather day.
+
+    The transmittance envelope is a piecewise-linear function of the
+    hour of day given by ``breakpoints``: pairs ``(hour, transmittance)``
+    interpolated in between.  ``noise`` adds small seeded fluctuation on
+    top of the envelope so traces are not perfectly smooth.
+    """
+
+    name: str
+    day_of_year: int
+    breakpoints: Tuple[Tuple[float, float], ...]
+    noise: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.day_of_year <= 366:
+            raise ValueError(f"{self.name}: bad day_of_year {self.day_of_year}")
+        hours = [h for h, _ in self.breakpoints]
+        if len(hours) < 2 or hours != sorted(hours):
+            raise ValueError(
+                f"{self.name}: breakpoints must be >= 2 and hour-sorted"
+            )
+        for h, tr in self.breakpoints:
+            if not 0.0 <= h <= 24.0:
+                raise ValueError(f"{self.name}: hour {h} out of [0, 24]")
+            if not 0.0 < tr <= 1.0:
+                raise ValueError(
+                    f"{self.name}: transmittance {tr} out of (0, 1]"
+                )
+
+    def transmittance(self, time_of_day: np.ndarray) -> np.ndarray:
+        hours = np.asarray(time_of_day, dtype=float) / _HOUR
+        xs = np.array([h for h, _ in self.breakpoints])
+        ys = np.array([tr for _, tr in self.breakpoints])
+        return np.interp(hours, xs, ys)
+
+
+#: Figure 7's four representative days, ordered by decreasing energy.
+FOUR_DAYS: Tuple[DayArchetype, ...] = (
+    DayArchetype(
+        "day1-clear-summer",
+        day_of_year=172,
+        breakpoints=((0.0, 0.97), (24.0, 0.97)),
+        noise=0.01,
+    ),
+    DayArchetype(
+        "day2-morning-cloud",
+        day_of_year=130,
+        breakpoints=(
+            (0.0, 0.40),
+            (9.0, 0.40),
+            (11.0, 0.88),
+            (24.0, 0.93),
+        ),
+        noise=0.04,
+    ),
+    DayArchetype(
+        "day3-broken-cloud",
+        day_of_year=85,
+        breakpoints=(
+            (0.0, 0.60),
+            (8.0, 0.38),
+            (10.0, 0.72),
+            (12.0, 0.42),
+            (14.0, 0.68),
+            (16.0, 0.38),
+            (24.0, 0.50),
+        ),
+        noise=0.08,
+    ),
+    DayArchetype(
+        "day4-overcast-winter",
+        day_of_year=330,
+        breakpoints=((0.0, 0.18), (24.0, 0.15)),
+        noise=0.03,
+    ),
+)
+
+
+def archetype_trace(
+    timeline: Timeline,
+    archetypes: Sequence[DayArchetype],
+    panel: SolarPanel | None = None,
+    sky: ClearSkyModel | None = None,
+    seed: int = 7,
+) -> SolarTrace:
+    """Solar trace whose day ``i`` follows ``archetypes[i]``.
+
+    ``timeline.num_days`` must equal ``len(archetypes)``.
+    """
+    if timeline.num_days != len(archetypes):
+        raise ValueError(
+            f"timeline has {timeline.num_days} days but "
+            f"{len(archetypes)} archetypes were given"
+        )
+    panel = panel or SolarPanel()
+    sky = sky or ClearSkyModel()
+    rng = np.random.default_rng(seed)
+    noise_rngs = [
+        np.random.default_rng(rng.integers(2**63)) for _ in archetypes
+    ]
+
+    def power_fn(day: int, times: np.ndarray) -> np.ndarray:
+        arch = archetypes[day]
+        ghi = sky.ghi(times, arch.day_of_year)
+        transmit = arch.transmittance(times)
+        if arch.noise > 0:
+            wobble = noise_rngs[day].normal(0.0, arch.noise, size=len(times))
+            transmit = np.clip(transmit + wobble, 0.02, 1.0)
+        return panel.power(ghi * transmit)
+
+    return SolarTrace.from_function(timeline, power_fn)
+
+
+def four_day_trace(
+    timeline: Timeline,
+    panel: SolarPanel | None = None,
+    seed: int = 7,
+) -> SolarTrace:
+    """The paper's four individual test days (Figure 7).
+
+    ``timeline.num_days`` must be 4.
+    """
+    return archetype_trace(timeline, FOUR_DAYS, panel=panel, seed=seed)
+
+
+#: Day-type labels for the synthetic weather chain, with initial sky
+#: regime and the day-of-year drift per type left to the generator.
+_DAY_TYPES: Tuple[str, ...] = ("sunny", "mixed", "cloudy", "overcast")
+_DAY_TYPE_TRANSITIONS = np.array(
+    [
+        [0.60, 0.25, 0.10, 0.05],
+        [0.30, 0.35, 0.25, 0.10],
+        [0.10, 0.30, 0.40, 0.20],
+        [0.10, 0.20, 0.35, 0.35],
+    ]
+)
+_DAY_TYPE_STATES: Dict[str, Tuple[SkyState, ...]] = {
+    "sunny": (
+        SkyState("clear", 0.96, 0.02, 14400.0),
+        SkyState("scattered", 0.82, 0.08, 3600.0),
+    ),
+    "mixed": (
+        SkyState("clear", 0.93, 0.03, 5400.0),
+        SkyState("scattered", 0.75, 0.10, 3600.0),
+        SkyState("broken", 0.50, 0.14, 2700.0),
+    ),
+    "cloudy": (
+        SkyState("scattered", 0.70, 0.10, 3600.0),
+        SkyState("broken", 0.48, 0.14, 3600.0),
+        SkyState("overcast", 0.25, 0.08, 5400.0),
+    ),
+    "overcast": (
+        SkyState("broken", 0.40, 0.10, 3600.0),
+        SkyState("overcast", 0.18, 0.06, 10800.0),
+    ),
+}
+
+
+def synthetic_trace(
+    timeline: Timeline,
+    start_day_of_year: int = 100,
+    panel: SolarPanel | None = None,
+    sky: ClearSkyModel | None = None,
+    seed: int = 2015,
+) -> SolarTrace:
+    """Seeded multi-day synthetic weather for monthly experiments.
+
+    Day types follow a Markov chain (sunny / mixed / cloudy / overcast)
+    so consecutive days are correlated — the property the WCMA
+    predictor and the paper's prediction-length analysis rely on.  The
+    day of year advances from ``start_day_of_year``, so multi-month
+    traces also see the seasonal trend.
+    """
+    panel = panel or SolarPanel()
+    sky = sky or ClearSkyModel()
+    rng = np.random.default_rng(seed)
+
+    day_types = []
+    state = int(rng.integers(len(_DAY_TYPES)))
+    for _ in range(timeline.num_days):
+        day_types.append(_DAY_TYPES[state])
+        state = int(rng.choice(len(_DAY_TYPES), p=_DAY_TYPE_TRANSITIONS[state]))
+
+    transmittances: Dict[int, np.ndarray] = {}
+
+    def power_fn(day: int, times: np.ndarray) -> np.ndarray:
+        doy = (start_day_of_year - 1 + day) % 365 + 1
+        ghi = sky.ghi(times, doy)
+        if day not in transmittances:
+            process = CloudProcess(_DAY_TYPE_STATES[day_types[day]])
+            day_rng = np.random.default_rng(seed * 1_000_003 + day)
+            transmittances[day] = process.sample(times, day_rng)
+        return panel.power(ghi * transmittances[day])
+
+    trace = SolarTrace.from_function(timeline, power_fn)
+    return trace

@@ -1,0 +1,62 @@
+"""Photovoltaic panel model.
+
+The paper's node carries a 3.5 cm × 4.5 cm panel with a tested average
+converting efficiency of 6% (Section 6.1); those are the defaults here.
+Output power is irradiance × area × efficiency, optionally derated by a
+harvesting (MPPT / wiring) factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["SolarPanel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SolarPanel:
+    """Flat PV panel converting GHI (W/m²) to electrical power (W).
+
+    Parameters
+    ----------
+    area_m2:
+        Panel area; default 3.5 cm × 4.5 cm = 15.75 cm².
+    efficiency:
+        Average converting efficiency; default 6%.
+    harvesting_factor:
+        Extra derating between panel output and the node's input rail
+        (tracking and wiring losses); default 1.0 (already folded into
+        the tested efficiency).
+    """
+
+    area_m2: float = 3.5e-2 * 4.5e-2
+    efficiency: float = 0.06
+    harvesting_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.area_m2 > 0:
+            raise ValueError(f"area_m2 must be > 0, got {self.area_m2}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if not 0.0 < self.harvesting_factor <= 1.0:
+            raise ValueError(
+                f"harvesting_factor must be in (0, 1], got "
+                f"{self.harvesting_factor}"
+            )
+
+    @property
+    def peak_power(self) -> float:
+        """Output at 1000 W/m² (standard test conditions), watts."""
+        return self.power(1000.0)
+
+    def power(self, ghi: np.ndarray | float) -> np.ndarray | float:
+        """Electrical output power (W) for the given irradiance (W/m²)."""
+        ghi_arr = np.asarray(ghi, dtype=float)
+        if np.any(ghi_arr < 0):
+            raise ValueError("irradiance must be >= 0")
+        out = ghi_arr * self.area_m2 * self.efficiency * self.harvesting_factor
+        return float(out) if np.isscalar(ghi) else out

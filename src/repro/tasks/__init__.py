@@ -1,0 +1,32 @@
+"""Task model substrate: tasks, dependence DAGs and benchmark sets."""
+
+from .task import Task, task_mw
+from .graph import CycleError, TaskGraph
+from .generator import STRUCTURES, WorkloadSpec, generate_workload, uunifast
+from .benchmarks import (
+    DEFAULT_PERIOD_SECONDS,
+    ecg,
+    paper_benchmarks,
+    random_benchmark,
+    random_case,
+    shm,
+    wam,
+)
+
+__all__ = [
+    "Task",
+    "task_mw",
+    "TaskGraph",
+    "CycleError",
+    "wam",
+    "ecg",
+    "shm",
+    "random_benchmark",
+    "random_case",
+    "paper_benchmarks",
+    "DEFAULT_PERIOD_SECONDS",
+    "WorkloadSpec",
+    "generate_workload",
+    "uunifast",
+    "STRUCTURES",
+]

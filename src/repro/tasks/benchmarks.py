@@ -1,0 +1,219 @@
+"""Benchmark task sets from the paper's evaluation (Section 6.1).
+
+Three real application benchmarks — wild animal monitoring (WAM, 8
+tasks), electrocardiogram (ECG, 6 tasks) and structure health
+monitoring (SHM, 5 tasks) — plus the seeded random benchmark generator
+(4–8 tasks, 0–2 edges, 2–6 NVPs).
+
+The paper obtained per-task execution time and power from C2RTL /
+Modelsim / DC Compiler under SMIC 130 nm; those absolute numbers are
+not published, so the tables below pick values at the same scale as the
+node (peak panel output ≈ 95 mW, task powers 8–55 mW, hyper-period
+600 s) while preserving each benchmark's published structure: task
+count, the task names from the paper's footnotes, and processing
+pipelines (sensing → processing → compression → storage → transmission
+for WAM; filter chain → QRS/FFT → AES for ECG; sensing → FFT →
+transmission for SHM).  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = [
+    "wam",
+    "ecg",
+    "shm",
+    "random_benchmark",
+    "random_case",
+    "paper_benchmarks",
+    "DEFAULT_PERIOD_SECONDS",
+]
+
+#: Hyper-period used by all built-in benchmarks, seconds (10 minutes).
+DEFAULT_PERIOD_SECONDS = 600.0
+
+_MW = 1e-3
+
+
+def _t(name: str, exec_s: float, deadline_s: float, power_mw: float, nvp: int) -> Task:
+    return Task(
+        name=name,
+        execution_time=exec_s,
+        deadline=deadline_s,
+        power=power_mw * _MW,
+        nvp=nvp,
+    )
+
+
+def wam() -> TaskGraph:
+    """Wild animal monitoring: 8 tasks on 3 NVPs.
+
+    Task names follow the paper's footnote 1: periodic locating, heart
+    rate sampling, voice recordation, audio process, emergency response,
+    audio compression, local storage and data transmission.
+    """
+    tasks = [
+        _t("locate", 60.0, 300.0, 45.0, nvp=0),
+        _t("heart_rate", 30.0, 150.0, 12.0, nvp=1),
+        _t("voice_record", 120.0, 240.0, 18.0, nvp=2),
+        _t("audio_process", 90.0, 420.0, 30.0, nvp=2),
+        _t("emergency", 30.0, 300.0, 25.0, nvp=1),
+        _t("audio_compress", 60.0, 510.0, 22.0, nvp=2),
+        _t("storage", 30.0, 570.0, 8.0, nvp=0),
+        _t("transmit", 60.0, 600.0, 50.0, nvp=1),
+    ]
+    edges = [
+        ("voice_record", "audio_process"),
+        ("audio_process", "audio_compress"),
+        ("audio_compress", "storage"),
+        ("storage", "transmit"),
+        ("heart_rate", "emergency"),
+        ("locate", "transmit"),
+    ]
+    return TaskGraph(tasks, edges, name="WAM")
+
+
+def ecg() -> TaskGraph:
+    """Electrocardiogram application: 6 tasks on 2 NVPs.
+
+    Task names follow the paper's footnote 2: low pass filter, high
+    pass filter 1/2, QRS wave detection, FFT and AES encoder.
+    """
+    tasks = [
+        _t("lpf", 45.0, 120.0, 15.0, nvp=0),
+        _t("hpf1", 45.0, 240.0, 15.0, nvp=0),
+        _t("hpf2", 45.0, 330.0, 15.0, nvp=1),
+        _t("qrs", 60.0, 450.0, 28.0, nvp=0),
+        _t("fft", 90.0, 480.0, 35.0, nvp=1),
+        _t("aes", 60.0, 600.0, 40.0, nvp=0),
+    ]
+    edges = [
+        ("lpf", "hpf1"),
+        ("hpf1", "hpf2"),
+        ("hpf2", "qrs"),
+        ("lpf", "fft"),
+        ("qrs", "aes"),
+    ]
+    return TaskGraph(tasks, edges, name="ECG")
+
+
+def shm() -> TaskGraph:
+    """Structure health monitoring: 5 tasks on 2 NVPs.
+
+    Task names follow the paper's footnote 3: temperature sensing,
+    acceleration sensing, FFT, data receiving and transmitting.
+    """
+    tasks = [
+        _t("temp_sense", 30.0, 150.0, 10.0, nvp=0),
+        _t("accel_sense", 60.0, 210.0, 16.0, nvp=1),
+        _t("fft", 120.0, 450.0, 38.0, nvp=1),
+        _t("rx", 30.0, 300.0, 35.0, nvp=0),
+        _t("tx", 90.0, 600.0, 55.0, nvp=0),
+    ]
+    edges = [
+        ("accel_sense", "fft"),
+        ("fft", "tx"),
+        ("temp_sense", "tx"),
+    ]
+    return TaskGraph(tasks, edges, name="SHM")
+
+
+def random_benchmark(
+    seed: int,
+    period_seconds: float = DEFAULT_PERIOD_SECONDS,
+    slot_seconds: float = 30.0,
+    name: str = "",
+) -> TaskGraph:
+    """Seeded random benchmark matching the paper's ranges.
+
+    Task number 4–8, edge number 0–2, NVP number 2–6 (Section 6.1).
+    Execution times are whole slots, deadlines leave enough slack for
+    the per-NVP demand-bound check to pass, and powers span the node's
+    task-power range.  The same ``seed`` always yields the same graph.
+    """
+    rng = np.random.default_rng(seed)
+    num_tasks = int(rng.integers(4, 9))
+    num_edges = int(rng.integers(0, 3))
+    num_nvps = int(rng.integers(2, 7))
+
+    slots = int(round(period_seconds / slot_seconds))
+    # Keep per-NVP demand feasible: spread tasks round-robin over NVPs
+    # and hand each NVP's tasks deadlines after their cumulative work.
+    nvp_of = [i % num_nvps for i in range(num_tasks)]
+    rng.shuffle(nvp_of)
+
+    exec_slots = rng.integers(1, max(2, slots // 3), size=num_tasks)
+    tasks: List[Task] = []
+    nvp_load: Dict[int, int] = {}
+    for i in range(num_tasks):
+        nvp = nvp_of[i]
+        load_before = nvp_load.get(nvp, 0)
+        need = int(exec_slots[i])
+        earliest_ok = load_before + need
+        if earliest_ok > slots:
+            need = max(1, slots - load_before)
+            earliest_ok = load_before + need
+        if earliest_ok > slots:
+            # NVP already full: give the task the minimum footprint.
+            need = 1
+            earliest_ok = slots
+        deadline_slot = int(rng.integers(earliest_ok, slots + 1))
+        nvp_load[nvp] = load_before + need
+        power_mw = float(rng.uniform(8.0, 55.0))
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                execution_time=need * slot_seconds,
+                deadline=deadline_slot * slot_seconds,
+                power=round(power_mw, 1) * _MW,
+                nvp=nvp,
+            )
+        )
+
+    # Dependences must be deadline- and order-consistent: producer has
+    # the earlier deadline.  Draw edges among index pairs (a, b) with
+    # deadline(a) <= deadline(b), rejecting duplicates.
+    order = sorted(range(num_tasks), key=lambda i: tasks[i].deadline)
+    edges: List[Tuple[str, str]] = []
+    attempts = 0
+    while len(edges) < num_edges and attempts < 50:
+        attempts += 1
+        a, b = sorted(rng.choice(num_tasks, size=2, replace=False).tolist(),
+                      key=order.index)
+        pair = (tasks[a].name, tasks[b].name)
+        producer, consumer = tasks[a], tasks[b]
+        if pair in edges:
+            continue
+        # Consumer must still fit after the producer finishes.
+        if producer.deadline + consumer.execution_time > consumer.deadline:
+            continue
+        edges.append(pair)
+
+    graph = TaskGraph(tasks, edges, name=name or f"random-{seed}")
+    return graph
+
+
+def random_case(case: int) -> TaskGraph:
+    """The three fixed random benchmarks used in the paper's figures."""
+    seeds = {1: 1015, 2: 2015, 3: 3015}
+    if case not in seeds:
+        raise ValueError(f"random case must be 1, 2 or 3, got {case}")
+    return random_benchmark(seeds[case], name=f"random-case-{case}")
+
+
+def paper_benchmarks() -> Dict[str, TaskGraph]:
+    """The six benchmarks evaluated in Figure 8, in paper order."""
+    return {
+        "random1": random_case(1),
+        "random2": random_case(2),
+        "random3": random_case(3),
+        "WAM": wam(),
+        "ECG": ecg(),
+        "SHM": shm(),
+    }

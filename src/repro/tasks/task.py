@@ -1,0 +1,101 @@
+"""Task model for periodic real-time workloads on the sensor node.
+
+Each task releases once per period and must complete ``execution_time``
+seconds of work before its per-period ``deadline`` (both relative to the
+period start).  ``power`` is the average execution power ``P_n^τ`` drawn
+while the task runs.  Tasks are bound to a specific nonvolatile
+processor (NVP) by ``nvp``: a task can only run on its own NVP and an
+NVP runs at most one task per slot (constraint (9) of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Task"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One periodic task (``τ_n`` in the paper).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a task set.
+    execution_time:
+        ``S_n``: total execution time per period, seconds.
+    deadline:
+        ``D_n``: relative deadline per period, seconds from period start.
+    power:
+        ``P_n^τ``: average execution power, watts.
+    nvp:
+        Index of the nonvolatile processor that runs this task.
+    """
+
+    name: str
+    execution_time: float
+    deadline: float
+    power: float
+    nvp: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if not self.execution_time > 0:
+            raise ValueError(
+                f"task {self.name!r}: execution_time must be > 0, "
+                f"got {self.execution_time}"
+            )
+        if not self.deadline > 0:
+            raise ValueError(
+                f"task {self.name!r}: deadline must be > 0, got {self.deadline}"
+            )
+        if self.execution_time > self.deadline:
+            raise ValueError(
+                f"task {self.name!r}: execution_time {self.execution_time} "
+                f"exceeds deadline {self.deadline}; the task can never meet "
+                "its deadline"
+            )
+        if not self.power > 0:
+            raise ValueError(
+                f"task {self.name!r}: power must be > 0, got {self.power}"
+            )
+        if self.nvp < 0:
+            raise ValueError(f"task {self.name!r}: nvp must be >= 0, got {self.nvp}")
+
+    @property
+    def energy(self) -> float:
+        """Total energy needed to complete the task once, joules."""
+        return self.execution_time * self.power
+
+    def slots_needed(self, slot_seconds: float) -> int:
+        """Number of whole slots of work the task needs per period."""
+        if not slot_seconds > 0:
+            raise ValueError(f"slot_seconds must be > 0, got {slot_seconds}")
+        full, frac = divmod(self.execution_time, slot_seconds)
+        slots = int(full) + (1 if frac > 1e-9 else 0)
+        return max(slots, 1)
+
+
+def task_mw(
+    name: str,
+    execution_time: float,
+    deadline: float,
+    power_mw: float,
+    nvp: int = 0,
+) -> Task:
+    """Convenience constructor taking power in milliwatts.
+
+    The paper quotes task powers in mW; internally everything is SI.
+    """
+    return Task(
+        name=name,
+        execution_time=execution_time,
+        deadline=deadline,
+        power=power_mw * 1e-3,
+        nvp=nvp,
+    )
+
+
+__all__.append("task_mw")

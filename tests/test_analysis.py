@@ -1,0 +1,122 @@
+"""Tests for the statistics toolbox."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PairedComparison,
+    bootstrap_ci,
+    compare_results,
+    paired_bootstrap_diff,
+    seed_sweep,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.5, 0.1, size=200)
+        estimate, low, high = bootstrap_ci(values, seed=1)
+        assert low <= estimate <= high
+        assert estimate == pytest.approx(values.mean())
+
+    def test_interval_narrows_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0.5, 0.1, size=20)
+        large = rng.normal(0.5, 0.1, size=2000)
+        _, lo_s, hi_s = bootstrap_ci(small, seed=1)
+        _, lo_l, hi_l = bootstrap_ci(large, seed=1)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_constant_series_zero_width(self):
+        estimate, low, high = bootstrap_ci(np.full(50, 0.3))
+        assert estimate == low == high == pytest.approx(0.3)
+
+    def test_custom_statistic(self):
+        values = np.array([1.0, 2.0, 3.0, 100.0])
+        estimate, _, _ = bootstrap_ci(values, statistic=np.median)
+        assert estimate == pytest.approx(2.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"values": np.array([])},
+            {"values": np.ones(3), "confidence": 1.0},
+            {"values": np.ones(3), "num_resamples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        values = kwargs.pop("values")
+        with pytest.raises(ValueError):
+            bootstrap_ci(values, **kwargs)
+
+
+class TestPairedBootstrap:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(0.5, 0.05, size=60)
+        a = b - 0.1  # A clearly lower
+        comparison = paired_bootstrap_diff(a, b, seed=2)
+        assert comparison.diff == pytest.approx(-0.1, abs=0.01)
+        assert comparison.significant
+        assert comparison.p_value < 0.05
+
+    def test_null_difference_not_significant(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.5, 0.05, size=60)
+        a = base + rng.normal(0.0, 0.02, size=60)
+        b = base + rng.normal(0.0, 0.02, size=60)
+        comparison = paired_bootstrap_diff(a, b, seed=3)
+        assert comparison.p_value > 0.05
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_diff(np.ones(3), np.ones(4))
+
+
+class TestCompareResults:
+    def _results(self):
+        from repro import quick_node, simulate
+        from repro.schedulers import GreedyEDFScheduler, IntraTaskScheduler
+        from repro.solar import four_day_trace
+        from repro.tasks import shm
+        from repro.timeline import Timeline
+
+        graph = shm()
+        tl = Timeline(4, 24, 10, 30.0)
+        trace = four_day_trace(tl)
+        a = simulate(quick_node(graph), graph, trace, IntraTaskScheduler())
+        b = simulate(quick_node(graph), graph, trace, GreedyEDFScheduler())
+        return a, b
+
+    def test_day_granularity(self):
+        a, b = self._results()
+        comparison = compare_results(a, b, granularity="day")
+        assert isinstance(comparison, PairedComparison)
+
+    def test_period_granularity(self):
+        a, b = self._results()
+        comparison = compare_results(a, b, granularity="period")
+        assert isinstance(comparison, PairedComparison)
+
+    def test_bad_granularity(self):
+        a, b = self._results()
+        with pytest.raises(ValueError):
+            compare_results(a, b, granularity="week")
+
+
+class TestSeedSweep:
+    def test_summary_fields(self):
+        summary = seed_sweep(lambda s: float(s % 3), seeds=[0, 1, 2, 3, 4, 5])
+        assert summary["n"] == 6
+        assert summary["min"] == 0.0
+        assert summary["max"] == 2.0
+        assert summary["mean"] == pytest.approx(1.0)
+
+    def test_single_seed_zero_std(self):
+        summary = seed_sweep(lambda s: 0.7, seeds=[42])
+        assert summary["std"] == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep(lambda s: 0.0, seeds=[])

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--benchmark", "nope"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListCommand:
+    def test_lists_everything(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "WAM" in text
+        assert "inter-task" in text
+        assert "fig8" in text
+
+
+class TestSimulateCommand:
+    def test_runs_one_day(self):
+        code, text = run_cli(
+            "simulate", "--benchmark", "SHM", "--scheduler", "asap",
+            "--days", "1", "--seed", "3",
+        )
+        assert code == 0
+        assert "DMR:" in text
+        dmr = float(
+            [l for l in text.splitlines() if l.startswith("DMR:")][0].split()[-1]
+        )
+        assert 0.0 <= dmr <= 1.0
+
+    def test_dvfs_scheduler_available(self):
+        code, text = run_cli(
+            "simulate", "--benchmark", "ECG", "--scheduler", "dvfs",
+            "--days", "1", "--seed", "3",
+        )
+        assert code == 0
+        assert "dvfs-load-matching" in text
+
+
+class TestExperimentCommand:
+    def test_fig5(self):
+        code, text = run_cli("experiment", "fig5")
+        assert code == 0
+        assert "regulator efficiency" in text
+
+    def test_fig7(self):
+        code, text = run_cli("experiment", "fig7")
+        assert code == 0
+        assert "four individual days" in text
+
+
+class TestExportCommand:
+    def test_writes_csv(self, tmp_path):
+        out_file = tmp_path / "trace.csv"
+        code, text = run_cli(
+            "export-trace", "--days", "1", "--seed", "5",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.exists()
+        header = out_file.read_text().splitlines()[0]
+        assert "Global Horizontal" in header

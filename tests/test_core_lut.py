@@ -1,0 +1,161 @@
+"""Tests for the explicit Eq. (13) lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut import LookupTable, LUTEntry, solar_classes
+from repro.energy import SuperCapacitor
+from repro.tasks import ecg, wam
+from repro.timeline import Timeline
+
+
+def tl_of():
+    return Timeline(1, 4, 20, 30.0)
+
+
+def caps_of(values=(1.0, 10.0)):
+    return [SuperCapacitor(capacitance=c) for c in values]
+
+
+def solar_history(num=16, slots=20, seed=0):
+    """Mixed dark/dim/bright period profiles."""
+    rng = np.random.default_rng(seed)
+    levels = rng.choice([0.0, 0.02, 0.06, 0.12], size=num)
+    base = np.tile(levels[:, None], (1, slots))
+    return base + rng.random((num, slots)) * 0.005
+
+
+class TestSolarClasses:
+    def test_centroid_count(self):
+        centroids, assignment = solar_classes(solar_history(), 4)
+        assert centroids.shape == (4, 20)
+        assert assignment.shape == (16,)
+        assert set(assignment) <= set(range(4))
+
+    def test_fewer_periods_than_classes(self):
+        centroids, _ = solar_classes(solar_history(num=3), 8)
+        assert centroids.shape[0] == 3
+
+    def test_members_closest_to_own_centroid(self):
+        data = solar_history()
+        centroids, assignment = solar_classes(data, 4)
+        for i, row in enumerate(data):
+            distances = ((centroids - row) ** 2).sum(axis=1)
+            assert distances[assignment[i]] == pytest.approx(
+                distances.min()
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solar_classes(np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            solar_classes(solar_history(), 0)
+
+
+class TestLookupTable:
+    def build(self, graph=None, caps=None, classes=3, levels=3):
+        graph = graph or ecg()
+        table = LookupTable(
+            graph,
+            tl_of(),
+            caps or caps_of(),
+            num_solar_classes=classes,
+            num_voltage_levels=levels,
+        )
+        return table.build(solar_history())
+
+    def test_entry_count_structure(self):
+        table = self.build()
+        assert len(table) > 0
+        # Entries exist for every (class, capacitor) combination.
+        combos = {(e.solar_class, e.cap_index) for e in table.entries}
+        assert combos == {(c, h) for c in range(3) for h in range(2)}
+
+    def test_query_before_build_raises(self):
+        table = LookupTable(ecg(), tl_of(), caps_of())
+        with pytest.raises(RuntimeError):
+            table.query(0.0, np.zeros(20), 0, 1.0)
+
+    def test_query_returns_closest_dmr(self):
+        table = self.build()
+        bright = np.full(20, 0.12)
+        entry = table.query(0.0, bright, cap_index=1, voltage=5.0)
+        assert entry is not None
+        # Bright period, full capacitor: completing everything is
+        # feasible, so the DMR-0 target is met exactly.
+        assert entry.dmr == pytest.approx(0.0)
+        assert entry.te.all()
+
+    def test_query_respects_feasibility(self):
+        table = self.build()
+        dark = np.zeros(20)
+        # Empty capacitor at cut-off: full completion needs storage it
+        # does not have; the feasible answer completes nothing.
+        entry = table.query(0.0, dark, cap_index=0, voltage=1.0)
+        assert entry is not None
+        assert entry.feasible
+        # A drained 1F capacitor cannot fund full completion in the
+        # (near-)dark class, so some tasks must be shed.
+        assert entry.dmr > 0.0
+        assert entry.consumed_energy == pytest.approx(0.0, abs=1e-9)
+
+    def test_consumed_energy_monotone_in_dmr(self):
+        """More completions can only draw more storage (same inputs)."""
+        table = self.build()
+        dark = np.zeros(20)
+        entries = [
+            e
+            for e in table.entries
+            if e.solar_class == table.classify_solar(dark)
+            and e.cap_index == 1
+            and abs(e.voltage - 5.0) < 1e-6
+        ]
+        entries.sort(key=lambda e: e.dmr, reverse=True)  # fewer -> more
+        consumed = [e.consumed_energy for e in entries]
+        assert consumed == sorted(consumed)
+
+    def test_best_for_budget_zero_budget(self):
+        table = self.build()
+        dark = np.zeros(20)
+        entry = table.best_for_budget(
+            dark, cap_index=1, voltage=5.0, energy_budget=0.0
+        )
+        assert entry is not None
+        assert entry.consumed_energy == pytest.approx(0.0)
+        # With no storage allowance, only the solar of the (near-dark)
+        # class can fund completions; a larger budget does better.
+        richer = table.best_for_budget(
+            dark, cap_index=1, voltage=5.0, energy_budget=1e6
+        )
+        assert richer.dmr <= entry.dmr
+
+    def test_best_for_budget_large_budget(self):
+        table = self.build()
+        dark = np.zeros(20)
+        entry = table.best_for_budget(
+            dark, cap_index=1, voltage=5.0, energy_budget=1e6
+        )
+        assert entry is not None
+        assert entry.dmr < 1.0
+
+    def test_best_for_budget_negative_rejected(self):
+        table = self.build()
+        with pytest.raises(ValueError):
+            table.best_for_budget(np.zeros(20), 0, 1.0, -1.0)
+
+    def test_query_bad_capacitor(self):
+        table = self.build()
+        with pytest.raises(IndexError):
+            table.query(0.0, np.zeros(20), cap_index=7, voltage=1.0)
+
+    def test_alpha_recorded_for_nonzero_k(self):
+        table = self.build()
+        bright = np.full(20, 0.12)
+        entry = table.query(0.0, bright, cap_index=1, voltage=5.0)
+        assert entry.alpha > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable(wam(), tl_of(), [])
+        with pytest.raises(ValueError):
+            LookupTable(wam(), tl_of(), caps_of(), num_voltage_levels=1)

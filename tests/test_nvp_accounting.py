@@ -1,0 +1,45 @@
+"""Engine-level NVP backup/restore accounting tests."""
+
+import numpy as np
+
+from repro import simulate
+from repro.energy import SuperCapacitor
+from repro.node import SensorNode
+from repro.schedulers import GreedyEDFScheduler
+from repro.solar import SolarTrace
+from repro.tasks import Task, TaskGraph
+from repro.timeline import Timeline
+
+
+def make_env(power):
+    graph = TaskGraph([Task("a", 300.0, 600.0, 0.05, nvp=0)])
+    tl = Timeline(1, 1, 20, 30.0)
+    trace = SolarTrace(tl, np.full((1, 1, 20), power))
+    node = SensorNode([SuperCapacitor(capacitance=0.5)], num_nvps=1)
+    return graph, trace, node
+
+
+class TestBrownoutAccounting:
+    def test_brownouts_increment_nvp_counter(self):
+        graph, trace, node = make_env(power=0.0)
+        result = simulate(node, graph, trace, GreedyEDFScheduler())
+        assert result.total_brownout_slots > 0
+        assert node.nvps[0].brownout_count >= 1
+
+    def test_no_brownouts_under_abundance(self):
+        graph, trace, node = make_env(power=0.5)
+        result = simulate(node, graph, trace, GreedyEDFScheduler())
+        assert result.total_brownout_slots == 0
+        assert node.nvps[0].brownout_count == 0
+
+    def test_nvp_recovers_after_power_returns(self):
+        """Dark first half, bright second: the NVP fails then restores."""
+        graph = TaskGraph([Task("a", 300.0, 600.0, 0.05, nvp=0)])
+        tl = Timeline(1, 1, 20, 30.0)
+        power = np.zeros((1, 1, 20))
+        power[0, 0, 10:] = 0.5
+        trace = SolarTrace(tl, power)
+        node = SensorNode([SuperCapacitor(capacitance=0.5)], num_nvps=1)
+        simulate(node, graph, trace, GreedyEDFScheduler())
+        assert node.nvps[0].brownout_count >= 1
+        assert node.nvps[0].powered  # restored once solar returned

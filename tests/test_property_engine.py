@@ -1,0 +1,136 @@
+"""Property-based tests of the simulation engine's invariants.
+
+A randomised scheduler (any legal subset of the ready set each slot)
+run on random workloads and weather must never violate the physical
+and accounting invariants, whatever it decides.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import quick_node, simulate
+from repro.schedulers import Scheduler
+from repro.solar import SolarTrace
+from repro.tasks import random_benchmark
+from repro.timeline import Timeline
+
+
+class RandomScheduler(Scheduler):
+    """Legal but arbitrary: every slot, a random subset of ready tasks
+    with at most one per NVP."""
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def on_slot(self, view):
+        chosen = []
+        used = set()
+        for task in view.ready:
+            if self.rng.random() < 0.5:
+                nvp = view.graph.nvp_of(task)
+                if nvp not in used:
+                    used.add(nvp)
+                    chosen.append(task)
+        return chosen
+
+
+def random_trace(tl: Timeline, seed: int) -> SolarTrace:
+    rng = np.random.default_rng(seed)
+    power = rng.random(
+        (tl.num_days, tl.periods_per_day, tl.slots_per_period)
+    ) * rng.choice([0.0, 0.05, 0.15])
+    return SolarTrace(tl, power)
+
+
+@st.composite
+def engine_setup(draw):
+    graph_seed = draw(st.integers(0, 300))
+    trace_seed = draw(st.integers(0, 300))
+    sched_seed = draw(st.integers(0, 300))
+    periods = draw(st.integers(1, 3))
+    graph = random_benchmark(graph_seed)
+    tl = Timeline(1, periods, 20, 30.0)
+    return graph, tl, random_trace(tl, trace_seed), RandomScheduler(sched_seed)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(engine_setup())
+def test_engine_invariants_hold_for_any_legal_scheduler(setup):
+    graph, tl, trace, scheduler = setup
+    node = quick_node(graph)
+    result = simulate(node, graph, trace, scheduler, record_slots=True)
+
+    # DMR is a proper rate everywhere.
+    series = result.dmr_series()
+    assert np.all((series >= 0.0) & (series <= 1.0))
+    assert 0.0 <= result.dmr <= 1.0
+
+    # Energy conservation: the load can never consume more than the
+    # harvest (storage only time-shifts, with losses).
+    assert result.total_load_energy <= result.total_solar_energy + 1e-6
+
+    # Per-period accounting: direct + storage = load; all flows >= 0.
+    for p in result.periods:
+        assert p.load_energy == pytest.approx(
+            p.direct_energy + p.storage_energy, abs=1e-9
+        )
+        assert p.solar_energy >= -1e-12
+        assert p.storage_energy >= -1e-12
+        assert p.charged_energy >= -1e-12
+        assert p.leakage_energy >= -1e-12
+        assert 0 <= p.miss_count <= len(graph)
+
+    # Physical voltage bounds in every recorded slot.
+    v = result.slots.active_voltage
+    v_full = max(s.capacitor.v_full for s in node.bank.states)
+    assert np.all(v >= -1e-9)
+    assert np.all(v <= v_full + 1e-6)
+
+    # Run fractions are fractions.
+    rf = result.slots.run_fraction
+    assert np.all((rf >= 0.0) & (rf <= 1.0 + 1e-9))
+
+    # Load power never exceeds the workload's physical maximum.
+    assert np.all(result.slots.load_power <= graph.max_power() + 1e-9)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    graph_seed=st.integers(0, 300),
+    power=st.floats(0.0, 0.5),
+)
+def test_abundance_monotonicity(graph_seed, power):
+    """More solar can never make the greedy scheduler's DMR worse."""
+    from repro.schedulers import GreedyEDFScheduler
+
+    graph = random_benchmark(graph_seed)
+    tl = Timeline(1, 2, 20, 30.0)
+    lo = SolarTrace(tl, np.full((1, 2, 20), power))
+    hi = SolarTrace(tl, np.full((1, 2, 20), power + 0.3))
+    dmr_lo = simulate(quick_node(graph), graph, lo, GreedyEDFScheduler()).dmr
+    dmr_hi = simulate(quick_node(graph), graph, hi, GreedyEDFScheduler()).dmr
+    assert dmr_hi <= dmr_lo + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_seed=st.integers(0, 300))
+def test_completed_tasks_never_marked_missed(graph_seed):
+    """A task that finished before its deadline is never a miss."""
+    from repro.schedulers import GreedyEDFScheduler
+
+    graph = random_benchmark(graph_seed)
+    tl = Timeline(1, 1, 20, 30.0)
+    trace = SolarTrace(tl, np.full((1, 1, 20), 1.0))
+    result = simulate(quick_node(graph), graph, trace, GreedyEDFScheduler())
+    assert result.dmr == 0.0

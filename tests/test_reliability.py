@@ -1,0 +1,169 @@
+"""Tests for fault models and the robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro import quick_node
+from repro.energy import SuperCapacitor
+from repro.reliability import (
+    FaultScenario,
+    IntermittentShading,
+    PanelDegradation,
+    SupplyGlitches,
+    age_capacitor,
+    robustness_report,
+)
+from repro.schedulers import GreedyEDFScheduler, IntraTaskScheduler
+from repro.solar import SolarTrace, archetype_trace, FOUR_DAYS
+from repro.tasks import shm
+from repro.timeline import Timeline
+
+
+def tl_of(days=2):
+    return Timeline(days, 24, 10, 30.0)
+
+
+def flat_trace(days=2, power=0.05):
+    tl = tl_of(days)
+    return SolarTrace(tl, np.full((days, 24, 10), power))
+
+
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestPanelDegradation:
+    def test_compounds_daily(self):
+        fault = PanelDegradation(rate_per_day=0.1)
+        out = fault.apply(flat_trace(days=3), rng())
+        assert out.power[0, 0, 0] == pytest.approx(0.05)
+        assert out.power[1, 0, 0] == pytest.approx(0.045)
+        assert out.power[2, 0, 0] == pytest.approx(0.0405)
+
+    def test_initial_factor(self):
+        fault = PanelDegradation(rate_per_day=0.0, initial_factor=0.7)
+        out = fault.apply(flat_trace(), rng())
+        assert np.allclose(out.power, 0.05 * 0.7)
+
+    def test_does_not_mutate_input(self):
+        trace = flat_trace()
+        PanelDegradation(rate_per_day=0.5).apply(trace, rng())
+        assert np.allclose(trace.power, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PanelDegradation(rate_per_day=1.0)
+        with pytest.raises(ValueError):
+            PanelDegradation(initial_factor=0.0)
+
+
+class TestIntermittentShading:
+    def test_reduces_energy(self):
+        fault = IntermittentShading(episodes_per_day=5.0, depth=0.9)
+        trace = flat_trace()
+        out = fault.apply(trace, rng())
+        assert out.total_energy() < trace.total_energy()
+
+    def test_zero_episodes_no_change(self):
+        fault = IntermittentShading(episodes_per_day=0.0)
+        trace = flat_trace()
+        out = fault.apply(trace, rng())
+        assert np.allclose(out.power, trace.power)
+
+    def test_deterministic_with_seed(self):
+        fault = IntermittentShading(episodes_per_day=3.0)
+        trace = flat_trace()
+        a = fault.apply(trace, np.random.default_rng(9))
+        b = fault.apply(trace, np.random.default_rng(9))
+        assert np.array_equal(a.power, b.power)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntermittentShading(episodes_per_day=-1.0)
+        with pytest.raises(ValueError):
+            IntermittentShading(depth=0.0)
+        with pytest.raises(ValueError):
+            IntermittentShading(duration_slots=0)
+
+
+class TestSupplyGlitches:
+    def test_probability_one_blacks_out(self):
+        out = SupplyGlitches(probability=1.0).apply(flat_trace(), rng())
+        assert out.total_energy() == 0.0
+
+    def test_probability_zero_no_change(self):
+        trace = flat_trace()
+        out = SupplyGlitches(probability=0.0).apply(trace, rng())
+        assert np.allclose(out.power, trace.power)
+
+    def test_expected_loss_scale(self):
+        trace = flat_trace(days=2)
+        out = SupplyGlitches(probability=0.25).apply(
+            trace, np.random.default_rng(1)
+        )
+        loss = 1 - out.total_energy() / trace.total_energy()
+        assert 0.15 < loss < 0.35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupplyGlitches(probability=1.5)
+
+
+class TestCapacitorAging:
+    def test_fades_capacitance_grows_leak(self):
+        cap = SuperCapacitor(capacitance=10.0)
+        aged = age_capacitor(cap, service_days=1000.0)
+        assert aged.capacitance == pytest.approx(9.0)
+        assert aged.leak_coeff == pytest.approx(cap.leak_coeff * 1.5)
+
+    def test_zero_days_identity(self):
+        cap = SuperCapacitor(capacitance=10.0)
+        aged = age_capacitor(cap, service_days=0.0)
+        assert aged.capacitance == cap.capacitance
+        assert aged.leak_coeff == cap.leak_coeff
+
+    def test_fade_clamped(self):
+        cap = SuperCapacitor(capacitance=10.0)
+        aged = age_capacitor(cap, service_days=1e6)
+        assert aged.capacitance > 0.0
+
+    def test_validation(self):
+        cap = SuperCapacitor(capacitance=10.0)
+        with pytest.raises(ValueError):
+            age_capacitor(cap, service_days=-1.0)
+
+
+class TestRobustnessReport:
+    def test_report_structure_and_monotonicity(self):
+        graph = shm()
+        trace = archetype_trace(tl_of(2), [FOUR_DAYS[0], FOUR_DAYS[2]],
+                                seed=4)
+        scenarios = [
+            FaultScenario(
+                "dusty", [PanelDegradation(rate_per_day=0.2)], seed=1
+            ),
+            FaultScenario(
+                "blackout", [SupplyGlitches(probability=1.0)], seed=2
+            ),
+        ]
+        rows = robustness_report(
+            graph,
+            trace,
+            node_factory=lambda: quick_node(graph),
+            scheduler_factories={
+                "greedy": GreedyEDFScheduler,
+                "intra": IntraTaskScheduler,
+            },
+            scenarios=scenarios,
+        )
+        # 2 schedulers x (clean + 2 scenarios)
+        assert len(rows) == 6
+        by_key = {(r.scheduler, r.scenario): r for r in rows}
+        for name in ("greedy", "intra"):
+            clean = by_key[(name, "clean")]
+            assert clean.dmr_increase == 0.0
+            blackout = by_key[(name, "blackout")]
+            assert blackout.dmr == 1.0
+            assert blackout.lost_energy_fraction == pytest.approx(1.0)
+            dusty = by_key[(name, "dusty")]
+            assert dusty.dmr >= clean.dmr - 1e-9

@@ -1,0 +1,59 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from pathlib import Path
+
+from repro.experiments.report import PAPER_TARGETS, generate
+
+
+class TestGenerate:
+    def test_embeds_available_results(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig7_solar_days.txt").write_text("TABLE CONTENT\n")
+        out = tmp_path / "EXPERIMENTS.md"
+        text = generate(results_dir=results, out_path=out)
+        assert out.exists()
+        assert "TABLE CONTENT" in text
+        assert "paper vs measured" in text
+
+    def test_marks_missing_results(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        out = tmp_path / "EXPERIMENTS.md"
+        text = generate(results_dir=results, out_path=out)
+        assert "no result yet" in text
+
+    def test_every_target_has_section(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        text = generate(
+            results_dir=results, out_path=tmp_path / "EXPERIMENTS.md"
+        )
+        for title, _, _ in PAPER_TARGETS:
+            assert title in text
+
+    def test_targets_cover_all_paper_items(self):
+        stems = {stem for _, _, stem in PAPER_TARGETS}
+        # Every evaluation item of the paper is represented.
+        for required in (
+            "fig1_motivation",
+            "fig2_sizing_motivation",
+            "fig5_regulators",
+            "fig7_solar_days",
+            "table2_migration",
+            "fig8_dmr_daily",
+            "fig9_monthly",
+            "fig10a_prediction_length",
+            "fig10b_capacitor_count",
+            "overhead",
+        ):
+            assert required in stems
+
+    def test_target_stems_match_benchmarks(self):
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        bench_stems = {
+            p.stem.removeprefix("bench_")
+            for p in bench_dir.glob("bench_*.py")
+        }
+        for _, _, stem in PAPER_TARGETS:
+            assert stem in bench_stems, f"no benchmark for {stem}"

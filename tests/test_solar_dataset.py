@@ -1,0 +1,119 @@
+"""Tests for MIDC-style CSV dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.solar import SolarPanel, SolarTrace, four_day_trace
+from repro.solar.dataset import (
+    MIDCFormatError,
+    read_midc_csv,
+    write_midc_csv,
+)
+from repro.timeline import Timeline
+
+
+def tl_of(days=2, periods=24, slots=10):
+    return Timeline(days, periods, slots, 30.0)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_power(self, tmp_path):
+        tl = tl_of()
+        rng = np.random.default_rng(0)
+        power = rng.random((2, 24, 10)) * 0.09
+        trace = SolarTrace(tl, power)
+        path = tmp_path / "station.csv"
+        write_midc_csv(path, trace)
+        loaded = read_midc_csv(path, tl)
+        assert np.allclose(loaded.power, trace.power, atol=1e-5)
+
+    def test_roundtrip_four_day_archetypes(self, tmp_path):
+        tl = tl_of(days=4)
+        trace = four_day_trace(tl)
+        path = tmp_path / "four.csv"
+        write_midc_csv(path, trace)
+        loaded = read_midc_csv(path, tl)
+        for day in range(4):
+            assert loaded.daily_energy(day) == pytest.approx(
+                trace.daily_energy(day), rel=1e-3
+            )
+
+    def test_custom_panel_consistent(self, tmp_path):
+        tl = tl_of()
+        panel = SolarPanel(area_m2=0.01, efficiency=0.15)
+        power = np.full((2, 24, 10), 0.5)
+        trace = SolarTrace(tl, power)
+        path = tmp_path / "p.csv"
+        write_midc_csv(path, trace, panel=panel)
+        loaded = read_midc_csv(path, tl, panel=panel)
+        assert np.allclose(loaded.power, 0.5, atol=1e-5)
+
+
+class TestReadValidation:
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(MIDCFormatError, match="missing"):
+            read_midc_csv(path, tl_of())
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(MIDCFormatError):
+            read_midc_csv(path, tl_of())
+
+    def test_too_few_days(self, tmp_path):
+        tl = tl_of(days=1)
+        trace = SolarTrace(tl, np.zeros((1, 24, 10)))
+        path = tmp_path / "one.csv"
+        write_midc_csv(path, trace)
+        with pytest.raises(MIDCFormatError, match="covers"):
+            read_midc_csv(path, tl_of(days=3))
+
+    def test_bad_date(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]\n"
+            "2014-01-01,00:00,0\n"
+        )
+        with pytest.raises(MIDCFormatError, match="bad date"):
+            read_midc_csv(path, tl_of(days=1))
+
+    def test_bad_time(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]\n"
+            "01/01/2014,noon,0\n"
+        )
+        with pytest.raises(MIDCFormatError, match="bad time"):
+            read_midc_csv(path, tl_of(days=1))
+
+    def test_negative_sentinels_clamped(self, tmp_path):
+        """MIDC uses negative sentinels at night; they read as 0."""
+        path = tmp_path / "neg.csv"
+        rows = ["DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]"]
+        for minute in range(0, 24 * 60, 5):
+            rows.append(f"01/01/2014,{minute // 60:02d}:{minute % 60:02d},-9999")
+        path.write_text("\n".join(rows) + "\n")
+        trace = read_midc_csv(path, tl_of(days=1))
+        assert trace.total_energy() == 0.0
+
+    def test_non_numeric_values_read_as_zero(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        rows = ["DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]"]
+        for minute in range(0, 24 * 60, 5):
+            rows.append(f"01/01/2014,{minute // 60:02d}:{minute % 60:02d},N/A")
+        path.write_text("\n".join(rows) + "\n")
+        trace = read_midc_csv(path, tl_of(days=1))
+        assert trace.total_energy() == 0.0
+
+    def test_sparse_samples_use_nearest(self, tmp_path):
+        """A file with few samples per day still fills every slot."""
+        path = tmp_path / "sparse.csv"
+        rows = ["DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]"]
+        for hour in range(24):
+            rows.append(f"01/02/2014,{hour:02d}:00,500")
+        path.write_text("\n".join(rows) + "\n")
+        trace = read_midc_csv(path, tl_of(days=1))
+        panel = SolarPanel()
+        assert np.allclose(trace.power, panel.power(500.0), atol=1e-6)

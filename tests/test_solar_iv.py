@@ -1,0 +1,106 @@
+"""Tests for the single-diode PV model and harvesting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.solar.iv import (
+    FixedVoltageHarvester,
+    PerfectMPPT,
+    SingleDiodePanel,
+    tracking_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return SingleDiodePanel()
+
+
+class TestSingleDiodePanel:
+    def test_short_circuit_current(self, panel):
+        i = panel.current(0.0, 1000.0)
+        # At V=0 the current is close to I_sc (minus Rs/Rsh losses).
+        assert i == pytest.approx(panel.short_circuit_current, rel=0.1)
+
+    def test_open_circuit_no_current(self, panel):
+        i = panel.current(panel.open_circuit_voltage, 1000.0)
+        assert i == pytest.approx(0.0, abs=2e-3)
+
+    def test_current_decreases_with_voltage(self, panel):
+        currents = [panel.current(v, 1000.0) for v in (0.0, 2.0, 4.0, 4.8)]
+        assert currents == sorted(currents, reverse=True)
+
+    def test_current_scales_with_irradiance(self, panel):
+        full = panel.current(1.0, 1000.0)
+        half = panel.current(1.0, 500.0)
+        assert half == pytest.approx(full / 2, rel=0.05)
+
+    def test_dark_panel_produces_nothing(self, panel):
+        assert panel.current(2.0, 0.0) == 0.0
+        assert panel.power(2.0, 0.0) == 0.0
+
+    def test_mpp_is_the_maximum(self, panel):
+        v_mpp, p_mpp = panel.mpp(1000.0)
+        assert 0 < v_mpp < panel.open_circuit_voltage
+        for v in np.linspace(0.1, panel.open_circuit_voltage - 0.05, 25):
+            assert panel.power(v, 1000.0) <= p_mpp + 1e-6
+
+    def test_mpp_power_scales_with_irradiance(self, panel):
+        _, p_full = panel.mpp(1000.0)
+        _, p_dim = panel.mpp(200.0)
+        assert 0 < p_dim < p_full
+
+    def test_mpp_voltage_drifts_with_irradiance(self, panel):
+        """V_mpp falls slightly at low light — the effect that makes
+        fixed-voltage harvesting lossy across the day."""
+        v_bright, _ = panel.mpp(1000.0)
+        v_dim, _ = panel.mpp(100.0)
+        assert v_dim < v_bright
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError):
+            panel.current(-1.0, 500.0)
+        with pytest.raises(ValueError):
+            panel.current(1.0, -5.0)
+        with pytest.raises(ValueError):
+            SingleDiodePanel(short_circuit_current=0.0)
+        with pytest.raises(ValueError):
+            SingleDiodePanel(cells_in_series=0)
+
+
+class TestHarvesters:
+    def test_mppt_beats_fixed_voltage(self, panel):
+        irradiances = np.array([100.0, 300.0, 600.0, 1000.0])
+        mppt = PerfectMPPT(panel)
+        fixed = FixedVoltageHarvester(panel, rail_voltage=3.0)
+        for g in irradiances:
+            assert mppt.harvest(g) >= fixed.harvest(g) - 1e-9
+
+    def test_tracking_ratio_bounds(self, panel):
+        irradiances = np.linspace(50.0, 1000.0, 12)
+        fixed = FixedVoltageHarvester(panel, rail_voltage=3.0)
+        ratio = tracking_ratio(fixed, panel, irradiances)
+        assert 0.0 < ratio <= 1.0
+
+    def test_perfect_tracker_ratio_is_one(self, panel):
+        irradiances = np.linspace(50.0, 1000.0, 8)
+        ratio = tracking_ratio(PerfectMPPT(panel), panel, irradiances)
+        assert ratio == pytest.approx(1.0)
+
+    def test_bad_rail_voltage(self, panel):
+        with pytest.raises(ValueError):
+            FixedVoltageHarvester(panel, rail_voltage=0.0)
+
+    def test_rail_choice_matters(self, panel):
+        """A rail near V_mpp tracks much better than one far from it."""
+        irradiances = np.linspace(100.0, 1000.0, 10)
+        v_mpp, _ = panel.mpp(700.0)
+        good = FixedVoltageHarvester(panel, rail_voltage=v_mpp)
+        bad = FixedVoltageHarvester(panel, rail_voltage=1.0)
+        assert tracking_ratio(good, panel, irradiances) > tracking_ratio(
+            bad, panel, irradiances
+        )
+
+    def test_tracking_ratio_validation(self, panel):
+        with pytest.raises(ValueError):
+            tracking_ratio(PerfectMPPT(panel), panel, np.array([]))
