@@ -2,9 +2,12 @@
 
 Each benchmark regenerates one table/figure of the paper and persists
 the rendered table under ``benchmarks/results/`` so EXPERIMENTS.md can
-be refreshed from a single run.
+be refreshed from a single run.  Next to every table a
+``<name>.manifest.json`` run manifest records the code revision,
+training configuration and a hash of the rendered table.
 """
 
+import time
 from pathlib import Path
 
 import pytest
@@ -14,12 +17,18 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture
 def record_table():
-    """Persist an ExperimentTable and echo it to the terminal."""
+    """Persist an ExperimentTable (plus manifest) and echo it."""
+    t0 = time.perf_counter()
 
     def _record(name: str, table) -> None:
+        from repro.experiments.common import write_experiment_manifest
+
         RESULTS_DIR.mkdir(exist_ok=True)
         text = table.render() + "\n"
         (RESULTS_DIR / f"{name}.txt").write_text(text)
+        write_experiment_manifest(
+            name, table, RESULTS_DIR, wall_time_s=time.perf_counter() - t0
+        )
         print()
         print(text)
 

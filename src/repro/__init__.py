@@ -14,6 +14,8 @@ Public API layers:
 * :mod:`repro.core` — the paper's contribution: offline long-term DMR
   optimisation, the DBN, and the online deadline-aware scheduler;
 * :mod:`repro.reliability` — fault injection and robustness studies;
+* :mod:`repro.obs` — structured tracing, metrics, profiling and run
+  manifests (off by default, zero-cost when disabled);
 * :mod:`repro.analysis` — bootstrap statistics for comparisons;
 * :mod:`repro.experiments` — one runner per paper table/figure;
 * :mod:`repro.cli` — ``python -m repro`` command-line interface.

@@ -6,20 +6,39 @@ Commands
     Show the available benchmarks, schedulers and experiments.
 ``simulate``
     Run one scheduler on one benchmark over a chosen trace and print
-    the headline metrics.
+    the headline metrics; ``--trace`` writes a JSONL event log,
+    ``--profile`` prints per-phase timings, ``--manifest`` writes a
+    run-provenance manifest.
 ``experiment``
-    Run one of the paper's table/figure reproductions and print it.
+    Run one of the paper's table/figure reproductions and print it;
+    ``--results-dir`` persists the table plus its run manifest.
+``obs``
+    Observability utilities; ``obs summarize trace.jsonl`` renders
+    event counts and per-phase timings from a trace file.
 ``export-trace``
     Write a synthetic solar trace as a MIDC-style CSV.
+
+A global ``--log-level`` (default WARNING) configures stdlib logging
+for every command.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+import time
 from typing import Callable, Dict, Optional, Sequence
 
 from . import quick_node
+from .obs import (
+    JsonlSink,
+    Observer,
+    build_manifest,
+    summarize_jsonl,
+    timeline_dict,
+)
 from .schedulers import (
     DVFSLoadMatchingScheduler,
     GreedyEDFScheduler,
@@ -33,6 +52,10 @@ from .tasks import paper_benchmarks
 from .timeline import Timeline
 
 __all__ = ["main", "build_parser"]
+
+_LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+logger = logging.getLogger(__name__)
 
 _SCHEDULERS: Dict[str, Callable] = {
     "asap": GreedyEDFScheduler,
@@ -76,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="DAC'15 solar-node deadline-aware scheduling "
         "reproduction",
     )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=_LOG_LEVELS,
+        help="stdlib logging level (default WARNING)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list benchmarks/schedulers/experiments")
@@ -92,9 +121,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="weather seed (0 + 4 days = the paper's canonical days)",
     )
+    sim.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL event trace of the run to PATH",
+    )
+    sim.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase engine timings after the run",
+    )
+    sim.add_argument(
+        "--manifest", metavar="PATH",
+        help="write a run-provenance manifest (JSON) to PATH",
+    )
 
     exp = commands.add_parser("experiment", help="reproduce a table/figure")
     exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument(
+        "--results-dir", metavar="DIR",
+        help="also write the rendered table and its run manifest here",
+    )
+
+    obs_cmd = commands.add_parser("obs", help="observability utilities")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="summarise a JSONL event trace"
+    )
+    summarize.add_argument("trace", help="path to a trace.jsonl file")
 
     export = commands.add_parser(
         "export-trace", help="write synthetic weather as MIDC CSV"
@@ -117,7 +169,19 @@ def _cmd_simulate(args, out) -> int:
     trace = _trace(args.days, args.seed)
     scheduler = _SCHEDULERS[args.scheduler]()
     node = quick_node(graph)
-    result = simulate(node, graph, trace, scheduler, strict=False)
+
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    observe = bool(sinks) or args.profile or bool(args.manifest)
+    observer = Observer(sinks=sinks) if observe else None
+
+    t0 = time.perf_counter()
+    result = simulate(
+        node, graph, trace, scheduler, strict=False, observer=observer
+    )
+    wall = time.perf_counter() - t0
+
     print(f"benchmark:          {args.benchmark}", file=out)
     print(f"scheduler:          {scheduler.name}", file=out)
     print(f"days:               {args.days}", file=out)
@@ -128,6 +192,28 @@ def _cmd_simulate(args, out) -> int:
         + ", ".join(f"{x:.3f}" for x in result.dmr_by_day()),
         file=out,
     )
+    if args.trace:
+        logger.info("wrote event trace to %s", args.trace)
+        print(f"event trace:        {args.trace}", file=out)
+    if args.profile and observer is not None:
+        print(file=out)
+        print(observer.profiler.render(), file=out)
+    if args.manifest:
+        manifest = build_manifest(
+            f"simulate-{args.benchmark}",
+            seed=args.seed,
+            scheduler=scheduler.name,
+            benchmark=args.benchmark,
+            timeline=timeline_dict(trace.timeline),
+            config={"days": args.days, "strict": False},
+            result_summary=result.summary(),
+            wall_time_s=wall,
+        )
+        path = manifest.write(args.manifest)
+        logger.info("wrote run manifest to %s", path)
+        print(f"manifest:           {path}", file=out)
+    if observer is not None:
+        observer.close()
     return 0
 
 
@@ -147,9 +233,43 @@ def _cmd_experiment(args, out) -> int:
         "fig10b": exp.fig10b_capacitors.run,
         "overhead": exp.overhead.run,
     }
+    t0 = time.perf_counter()
     table = runners[args.name]()
+    wall = time.perf_counter() - t0
     print(table.render(), file=out)
+    if args.results_dir:
+        from pathlib import Path
+
+        from .experiments.common import write_experiment_manifest
+
+        results_dir = Path(args.results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / f"{args.name}.txt").write_text(table.render() + "\n")
+        path = write_experiment_manifest(
+            args.name, table, results_dir, wall_time_s=wall
+        )
+        logger.info("wrote experiment manifest to %s", path)
+        print(f"manifest: {path}", file=out)
     return 0
+
+
+def _cmd_obs(args, out) -> int:
+    if args.obs_command == "summarize":
+        try:
+            print(summarize_jsonl(args.trace), file=out)
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.trace}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: {args.trace} is not a JSONL event trace "
+                f"({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_export(args, out) -> int:
@@ -167,6 +287,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    logging.basicConfig(level=getattr(logging, args.log_level))
     try:
         if args.command == "list":
             return _cmd_list(out)
@@ -174,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_simulate(args, out)
         if args.command == "experiment":
             return _cmd_experiment(args, out)
+        if args.command == "obs":
+            return _cmd_obs(args, out)
         if args.command == "export-trace":
             return _cmd_export(args, out)
     except BrokenPipeError:

@@ -242,12 +242,28 @@ class ProposedScheduler(Scheduler):
             if view.last_period_powers is not None
             else np.zeros(view.timeline.slots_per_period)
         )
-        cap, alpha, te = self.policy.decide(
-            prev, view.bank.voltages, view.accumulated_dmr
+        obs = self.observer
+        span_name = (
+            "dbn_forward"
+            if isinstance(self.policy, DBNPolicy)
+            else "coarse_decide"
         )
+        with obs.span(span_name):
+            cap, alpha, te = self.policy.decide(
+                prev, view.bank.voltages, view.accumulated_dmr
+            )
         te = close_subset(view.graph, np.asarray(te, dtype=bool))
         self._selected = set(np.flatnonzero(te).tolist())
         self._intra_mode = abs(1.0 - alpha) <= self.delta
+        if obs.enabled:
+            obs.coarse_decision(
+                cap_index=cap,
+                alpha=alpha,
+                intra_mode=self._intra_mode,
+                task_subset=sorted(self._selected),
+            )
+            if not self._intra_mode:
+                obs.delta_fallback(alpha=alpha, delta=self.delta)
         if 0 <= cap < len(view.bank.capacitances):
             view.request_capacitor(cap)
 

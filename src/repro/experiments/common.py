@@ -10,7 +10,9 @@ workload once.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +23,7 @@ from ..core import (
     TrainedPolicy,
     trace_period_matrix,
 )
+from ..obs import Observer, build_manifest
 from ..schedulers import InterTaskScheduler, IntraTaskScheduler, Scheduler
 from ..sim.engine import simulate
 from ..sim.recorder import SimulationResult
@@ -39,6 +42,7 @@ __all__ = [
     "training_trace",
     "train_policy",
     "evaluation_suite",
+    "write_experiment_manifest",
     "STANDARD_SCHEDULERS",
 ]
 
@@ -146,12 +150,14 @@ def evaluation_suite(
     trace: SolarTrace,
     policy: Optional[TrainedPolicy] = None,
     include: Sequence[str] = STANDARD_SCHEDULERS,
+    observer: Optional[Observer] = None,
 ) -> Dict[str, SimulationResult]:
     """Run the paper's four-way comparison on one trace.
 
     ``inter-task`` and ``intra-task`` are the prior-work baselines,
     ``proposed`` the DBN-based online scheduler, ``optimal`` the static
-    upper bound computed on the true trace.
+    upper bound computed on the true trace.  An ``observer`` (shared
+    across the runs) traces every simulation.
     """
     policy = policy or train_policy(graph)
     results: Dict[str, SimulationResult] = {}
@@ -174,6 +180,58 @@ def evaluation_suite(
         else:
             raise ValueError(f"unknown scheduler key {name!r}")
         results[name] = simulate(
-            policy.make_node(), graph, trace, scheduler, strict=False
+            policy.make_node(),
+            graph,
+            trace,
+            scheduler,
+            strict=False,
+            observer=observer,
         )
     return results
+
+
+def write_experiment_manifest(
+    name: str,
+    table: ExperimentTable,
+    results_dir: Union[str, Path],
+    wall_time_s: float = 0.0,
+    extra_config: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``<name>.manifest.json`` next to an experiment's results.
+
+    The manifest pins the experiment to the code revision, the shared
+    training configuration (seed, days, timeline shape), and a hash of
+    the rendered table, so every number in EXPERIMENTS.md traces back
+    to a reproducible run.
+    """
+    rendered = table.render()
+    config: Dict[str, object] = {
+        "train_seed": TRAIN_SEED,
+        "train_days": TRAIN_DAYS,
+        "periods_per_day": PERIODS_PER_DAY,
+        "slots_per_period": SLOTS_PER_PERIOD,
+        "slot_seconds": SLOT_SECONDS,
+    }
+    if extra_config:
+        config.update(extra_config)
+    manifest = build_manifest(
+        name,
+        seed=TRAIN_SEED,
+        scheduler=None,
+        benchmark=name,
+        timeline={
+            "periods_per_day": PERIODS_PER_DAY,
+            "slots_per_period": SLOTS_PER_PERIOD,
+            "slot_seconds": SLOT_SECONDS,
+        },
+        config=config,
+        result_summary={
+            "title": table.title,
+            "rows": len(table.rows),
+            "table_sha256": hashlib.sha256(
+                rendered.encode("utf-8")
+            ).hexdigest(),
+        },
+        wall_time_s=wall_time_s,
+    )
+    return manifest.write(Path(results_dir) / f"{name}.manifest.json")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..energy.bank import CapacitorBank
+from ..obs.events import NULL_OBSERVER
 
 __all__ = ["PMU"]
 
@@ -58,15 +59,39 @@ class PMU:
             raise ValueError(
                 f"switch_threshold must be >= 0, got {self.switch_threshold}"
             )
+        # Event emitter; the engine attaches its observer at run start.
+        # Not a dataclass field: repr/eq stay as before.
+        self.observer = NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def request_capacitor(self, index: int) -> bool:
         """Apply the Eq. (22) switching rule; True if now active."""
-        return self.bank.request_switch(index, self.switch_threshold)
+        previous = self.bank.active_index
+        usable = self.bank.active.usable_energy
+        accepted = self.bank.request_switch(index, self.switch_threshold)
+        self.observer.capacitor_switch(
+            previous=previous,
+            requested=index,
+            accepted=accepted,
+            forced=False,
+            active_usable_energy=usable,
+            threshold=self.switch_threshold,
+        )
+        return accepted
 
     def force_capacitor(self, index: int) -> None:
         """Unconditional switch (used by offline/oracle schedulers)."""
+        previous = self.bank.active_index
+        usable = self.bank.active.usable_energy
         self.bank.select(index)
+        self.observer.capacitor_switch(
+            previous=previous,
+            requested=index,
+            accepted=True,
+            forced=True,
+            active_usable_energy=usable,
+            threshold=self.switch_threshold,
+        )
 
     # ------------------------------------------------------------------
     def supply_slot(

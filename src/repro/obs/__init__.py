@@ -1,0 +1,86 @@
+"""Observability for the simulator and experiment harness.
+
+Zero-dependency tracing, metrics, profiling and run provenance:
+
+* :mod:`repro.obs.events` — typed event bus (:class:`Observer`) with
+  a disabled :data:`NULL_OBSERVER` default the engine uses when no
+  observer is supplied;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms;
+* :mod:`repro.obs.profile` — per-phase wall-time profiling;
+* :mod:`repro.obs.sinks` — JSONL trace files, ring buffers, console
+  summaries, and the ``repro obs summarize`` renderer;
+* :mod:`repro.obs.manifest` — reproducibility manifests written next
+  to experiment results.
+
+Quickstart::
+
+    from repro.obs import Observer, JsonlSink
+
+    obs = Observer(sinks=[JsonlSink("trace.jsonl")])
+    result = simulate(node, graph, trace, scheduler, observer=obs)
+    obs.finish(result.summary(), scheduler=result.scheduler_name)
+    obs.close()
+"""
+
+from __future__ import annotations
+
+from .events import (
+    BrownoutEvent,
+    CapacitorSwitchEvent,
+    CoarseDecisionEvent,
+    DeadlineMissEvent,
+    DeltaFallbackEvent,
+    Event,
+    NULL_OBSERVER,
+    Observer,
+    PeriodEndEvent,
+    SlotDecisionEvent,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_manifest,
+    config_digest,
+    git_revision,
+    timeline_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import NULL_SPAN, PhaseProfiler, PhaseStat
+from .sinks import (
+    ConsoleSummarySink,
+    JsonlSink,
+    RingBufferSink,
+    read_jsonl,
+    summarize_jsonl,
+)
+
+__all__ = [
+    "Event",
+    "SlotDecisionEvent",
+    "DeadlineMissEvent",
+    "BrownoutEvent",
+    "CapacitorSwitchEvent",
+    "CoarseDecisionEvent",
+    "DeltaFallbackEvent",
+    "PeriodEndEvent",
+    "Observer",
+    "NULL_OBSERVER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PhaseStat",
+    "NULL_SPAN",
+    "JsonlSink",
+    "RingBufferSink",
+    "ConsoleSummarySink",
+    "read_jsonl",
+    "summarize_jsonl",
+    "RunManifest",
+    "build_manifest",
+    "git_revision",
+    "config_digest",
+    "timeline_dict",
+    "MANIFEST_SCHEMA",
+]

@@ -1,0 +1,394 @@
+"""Structured event bus for the simulator.
+
+Every consequential moment of a run has a typed event: the per-slot
+scheduling decision, a deadline miss, a brownout, a capacitor-switch
+attempt (accepted *or* rejected by the Eq. 22 threshold), the coarse
+stage's per-period output, and the δ-rule fallback to the cheap
+inter-task pass.  Emitters (:mod:`repro.sim.engine`,
+:mod:`repro.node.pmu`, :mod:`repro.core.online`) go through an
+:class:`Observer`, which stamps events with the simulation clock,
+fans them out to sinks, and keeps the run's metrics and phase timings.
+
+The default observer is :data:`NULL_OBSERVER`: disabled, no sinks, and
+every emit helper returns after one boolean check — the instrumented
+engine with observability off is behaviourally and numerically
+identical to an uninstrumented one (guarded by test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+from .profile import NULL_SPAN, PhaseProfiler
+
+__all__ = [
+    "Event",
+    "SlotDecisionEvent",
+    "DeadlineMissEvent",
+    "BrownoutEvent",
+    "CapacitorSwitchEvent",
+    "CoarseDecisionEvent",
+    "DeltaFallbackEvent",
+    "PeriodEndEvent",
+    "Observer",
+    "NULL_OBSERVER",
+]
+
+
+def _json_safe(value):
+    """Coerce numpy scalars / tuples to plain JSON types."""
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base event: everything is stamped with the simulation clock.
+
+    ``slot`` is ``-1`` for period-level events; a slot equal to the
+    timeline's ``slots_per_period`` marks the end-of-period boundary
+    (where final deadline checks run).
+    """
+
+    kind = "event"
+
+    day: int
+    period: int
+    slot: int
+
+    def to_dict(self) -> Dict[str, object]:
+        rec: Dict[str, object] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            rec[f.name] = _json_safe(getattr(self, f.name))
+        return rec
+
+
+@dataclasses.dataclass(frozen=True)
+class SlotDecisionEvent(Event):
+    """One per simulated slot: what ran and how the slot went."""
+
+    kind = "slot_decision"
+
+    ready: Tuple[int, ...]
+    chosen: Tuple[int, ...]
+    solar_power: float
+    load_power: float
+    run_fraction: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlineMissEvent(Event):
+    """Tasks newly marked missed at this slot boundary (Eq. 5)."""
+
+    kind = "deadline_miss"
+
+    tasks: Tuple[int, ...]
+    final: bool  # True for the end-of-period sweep
+
+
+@dataclasses.dataclass(frozen=True)
+class BrownoutEvent(Event):
+    """Storage could not cover the deficit; the load ran partially."""
+
+    kind = "brownout"
+
+    run_fraction: float
+    needed_energy: float
+    delivered_energy: float
+    active_index: int
+    active_voltage: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacitorSwitchEvent(Event):
+    """A capacitor selection attempt at the PMU.
+
+    ``accepted`` is the Eq. (22) outcome; ``forced`` marks the
+    unconditional path used by offline/oracle schedulers.
+    """
+
+    kind = "capacitor_switch"
+
+    previous: int
+    requested: int
+    accepted: bool
+    forced: bool
+    active_usable_energy: float
+    threshold: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CoarseDecisionEvent(Event):
+    """Per-period coarse output: capacitor, α, task subset, fine mode."""
+
+    kind = "coarse_decision"
+
+    cap_index: int
+    alpha: float
+    intra_mode: bool
+    task_subset: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeltaFallbackEvent(Event):
+    """``|1 - α| > δ``: the cheap inter-task pass replaces intra-task."""
+
+    kind = "delta_fallback"
+
+    alpha: float
+    delta: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodEndEvent(Event):
+    """Aggregate outcome of one period."""
+
+    kind = "period_end"
+
+    dmr: float
+    miss_count: int
+    brownout_slots: int
+    solar_energy: float
+    load_energy: float
+
+
+class Observer:
+    """Event bus + metrics + phase profiler for one or more runs.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with ``write(record: dict)`` (see :mod:`repro.obs.sinks`);
+        optionally ``flush()`` / ``close()``.
+    enabled:
+        Defaults to True; :data:`NULL_OBSERVER` is the disabled
+        singleton the engine uses when no observer is passed.
+    """
+
+    def __init__(self, sinks: Sequence = (), enabled: bool = True) -> None:
+        self.sinks: List = list(sinks)
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.profiler = PhaseProfiler() if enabled else None
+        self.day = -1
+        self.period = -1
+        self.slot = -1
+
+    # ------------------------------------------------------------------
+    def set_time(self, day: int, period: int, slot: int = -1) -> None:
+        """Advance the simulation clock used to stamp events."""
+        self.day = day
+        self.period = period
+        self.slot = slot
+
+    def span(self, name: str):
+        """Profiling context manager; no-op when disabled."""
+        if self.profiler is None:
+            return NULL_SPAN
+        return self.profiler.span(name)
+
+    def emit(self, event: Event) -> None:
+        """Fan an already-built event out to every sink."""
+        if not self.enabled:
+            return
+        record = event.to_dict()
+        for sink in self.sinks:
+            sink.write(record)
+
+    # ------------------------------------------------------------------
+    # Typed emit helpers (each guards itself; near-zero cost when off).
+    # ------------------------------------------------------------------
+    def slot_decision(
+        self,
+        ready: Tuple[int, ...],
+        chosen: Tuple[int, ...],
+        solar_power: float,
+        load_power: float,
+        run_fraction: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("slots_simulated_total").inc()
+        self.emit(
+            SlotDecisionEvent(
+                day=self.day,
+                period=self.period,
+                slot=self.slot,
+                ready=tuple(ready),
+                chosen=tuple(chosen),
+                solar_power=float(solar_power),
+                load_power=float(load_power),
+                run_fraction=float(run_fraction),
+            )
+        )
+
+    def deadline_miss(
+        self, tasks: Tuple[int, ...], final: bool = False
+    ) -> None:
+        if not self.enabled or not tasks:
+            return
+        self.metrics.counter("deadline_misses_total").inc(len(tasks))
+        self.emit(
+            DeadlineMissEvent(
+                day=self.day,
+                period=self.period,
+                slot=self.slot,
+                tasks=tuple(int(t) for t in tasks),
+                final=final,
+            )
+        )
+
+    def brownout(
+        self,
+        run_fraction: float,
+        needed_energy: float,
+        delivered_energy: float,
+        active_index: int,
+        active_voltage: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("brownout_slots_total").inc()
+        self.emit(
+            BrownoutEvent(
+                day=self.day,
+                period=self.period,
+                slot=self.slot,
+                run_fraction=float(run_fraction),
+                needed_energy=float(needed_energy),
+                delivered_energy=float(delivered_energy),
+                active_index=int(active_index),
+                active_voltage=float(active_voltage),
+            )
+        )
+
+    def capacitor_switch(
+        self,
+        previous: int,
+        requested: int,
+        accepted: bool,
+        forced: bool,
+        active_usable_energy: float,
+        threshold: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("capacitor_switch_attempts_total").inc()
+        if accepted:
+            self.metrics.counter("capacitor_switches_accepted_total").inc()
+        self.emit(
+            CapacitorSwitchEvent(
+                day=self.day,
+                period=self.period,
+                slot=self.slot,
+                previous=int(previous),
+                requested=int(requested),
+                accepted=bool(accepted),
+                forced=bool(forced),
+                active_usable_energy=float(active_usable_energy),
+                threshold=float(threshold),
+            )
+        )
+
+    def coarse_decision(
+        self,
+        cap_index: int,
+        alpha: float,
+        intra_mode: bool,
+        task_subset: Sequence[int],
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("coarse_decisions_total").inc()
+        self.emit(
+            CoarseDecisionEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                cap_index=int(cap_index),
+                alpha=float(alpha),
+                intra_mode=bool(intra_mode),
+                task_subset=tuple(int(t) for t in task_subset),
+            )
+        )
+
+    def delta_fallback(self, alpha: float, delta: float) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("delta_fallbacks_total").inc()
+        self.emit(
+            DeltaFallbackEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                alpha=float(alpha),
+                delta=float(delta),
+            )
+        )
+
+    def period_end(
+        self,
+        dmr: float,
+        miss_count: int,
+        brownout_slots: int,
+        solar_energy: float,
+        load_energy: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("periods_simulated_total").inc()
+        self.emit(
+            PeriodEndEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                dmr=float(dmr),
+                miss_count=int(miss_count),
+                brownout_slots=int(brownout_slots),
+                solar_energy=float(solar_energy),
+                load_energy=float(load_energy),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def finish(
+        self,
+        result_summary: Optional[Dict[str, float]] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
+        """Write the ``run_summary`` trailer record and flush sinks.
+
+        The trailer carries the metrics snapshot, the per-phase timing
+        snapshot, and the run's headline numbers — this is what
+        ``repro obs summarize`` renders without re-running anything.
+        """
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "kind": "run_summary",
+            "scheduler": scheduler,
+            "result": _json_safe(result_summary) if result_summary else {},
+            "metrics": self.metrics.snapshot(),
+            "profile": self.profiler.snapshot() if self.profiler else {},
+        }
+        for sink in self.sinks:
+            sink.write(record)
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self) -> None:
+        """Close every sink that supports it."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+#: Disabled singleton: the engine's default when no observer is given.
+NULL_OBSERVER = Observer(sinks=(), enabled=False)

@@ -1,0 +1,160 @@
+"""Run provenance manifests.
+
+A :class:`RunManifest` ties one result to everything needed to
+reproduce it: the seed, scheduler, benchmark, timeline shape, a hash
+of the configuration, the git revision of the code, and the headline
+metrics.  Experiment runners write a manifest next to each results
+file; ``RunManifest.fingerprint()`` hashes only the deterministic
+fields, so two runs of the same configuration at the same revision
+produce the same fingerprint regardless of when or how fast they ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "git_revision",
+    "config_digest",
+    "MANIFEST_SCHEMA",
+]
+
+#: Bumped whenever the manifest layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """HEAD commit SHA of the repository holding this code, or None."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def config_digest(config: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of a config dict."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """Provenance record of one simulation/experiment run."""
+
+    name: str
+    seed: Optional[int]
+    scheduler: Optional[str]
+    benchmark: Optional[str]
+    timeline: Dict[str, object]
+    config: Dict[str, object]
+    config_hash: str
+    result_summary: Dict[str, object]
+    git_sha: Optional[str]
+    created_utc: str
+    wall_time_s: float
+    version: str
+    schema: int = MANIFEST_SCHEMA
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Hash of the deterministic fields only.
+
+        Excludes ``created_utc`` and ``wall_time_s`` so re-running the
+        same configuration at the same revision reproduces the value.
+        """
+        det = {
+            "schema": self.schema,
+            "name": self.name,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "benchmark": self.benchmark,
+            "timeline": self.timeline,
+            "config_hash": self.config_hash,
+            "result_summary": self.result_summary,
+            "git_sha": self.git_sha,
+            "version": self.version,
+        }
+        return config_digest(det)
+
+    def to_dict(self) -> Dict[str, object]:
+        rec = dataclasses.asdict(self)
+        rec["fingerprint"] = self.fingerprint()
+        return rec
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        data.pop("fingerprint", None)
+        return cls(**data)
+
+
+def build_manifest(
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    scheduler: Optional[str] = None,
+    benchmark: Optional[str] = None,
+    timeline: Optional[Dict[str, object]] = None,
+    config: Optional[Dict[str, object]] = None,
+    result_summary: Optional[Dict[str, object]] = None,
+    wall_time_s: float = 0.0,
+    git_sha: Optional[str] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest`, filling provenance defaults."""
+    from .. import __version__
+
+    config = dict(config or {})
+    return RunManifest(
+        name=name,
+        seed=seed,
+        scheduler=scheduler,
+        benchmark=benchmark,
+        timeline=dict(timeline or {}),
+        config=config,
+        config_hash=config_digest(config),
+        result_summary=dict(result_summary or {}),
+        git_sha=git_sha if git_sha is not None else git_revision(),
+        created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_time_s=float(wall_time_s),
+        version=__version__,
+    )
+
+
+def timeline_dict(timeline) -> Dict[str, object]:
+    """The manifest representation of a :class:`~repro.timeline.Timeline`."""
+    return {
+        "num_days": timeline.num_days,
+        "periods_per_day": timeline.periods_per_day,
+        "slots_per_period": timeline.slots_per_period,
+        "slot_seconds": timeline.slot_seconds,
+    }
+
+
+__all__.append("timeline_dict")

@@ -1,0 +1,147 @@
+"""Counters, gauges and histograms for the simulator.
+
+A :class:`MetricsRegistry` is a flat, name-keyed collection of three
+instrument kinds, deliberately close to the Prometheus vocabulary so
+names transfer (``slots_simulated_total``, ``brownout_slots_total``,
+``coarse_pass_seconds``, ...).  Zero dependencies; a registry is cheap
+to create and cheap to snapshot, so every :class:`~repro.obs.events.Observer`
+carries one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (e.g. ``brownout_slots_total``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Point-in-time value (e.g. active capacitor voltage)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max/last — enough for per-phase timing reports
+    without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
+        )
+
+
+class MetricsRegistry:
+    """Name-keyed counters/gauges/histograms with get-or-create access."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-line-per-instrument report."""
+        lines = []
+        for name, c in sorted(self.counters.items()):
+            lines.append(f"{name:<40} {c.value}")
+        for name, g in sorted(self.gauges.items()):
+            lines.append(f"{name:<40} {g.value:.6g}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(
+                f"{name:<40} n={h.count} mean={h.mean:.3e} "
+                f"min={h.min if h.count else 0.0:.3e} "
+                f"max={h.max if h.count else 0.0:.3e}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Phase profiling for the simulation engine.
+
+The engine's hot path decomposes into a handful of phases — the coarse
+per-period hook, the per-slot loop, the leakage update, the DBN
+forward pass.  :class:`PhaseProfiler` accumulates wall time per phase
+via ``time.perf_counter``, either through the :meth:`~PhaseProfiler.span`
+context manager or through direct :meth:`~PhaseProfiler.add` calls
+where a ``with`` block would sit in a too-hot loop.
+
+When profiling is off the engine uses :data:`NULL_SPAN`, a shared
+no-op context manager, so the disabled path costs one attribute load.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+__all__ = ["PhaseStat", "PhaseProfiler", "NULL_SPAN"]
+
+
+class PhaseStat:
+    """Accumulated timing of one named phase."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Span:
+    """``with profiler.span(name):`` — times the enclosed block."""
+
+    __slots__ = ("_profiler", "_name", "_t0", "elapsed")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = perf_counter() - self._t0
+        self._profiler.add(self._name, self.elapsed)
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Singleton no-op context manager returned when profiling is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class PhaseProfiler:
+    """Per-phase wall-time accumulator."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStat] = {}
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one occurrence of ``name``."""
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one occurrence of ``name`` taking ``seconds``."""
+        stat = self.phases.get(name)
+        if stat is None:
+            stat = self.phases[name] = PhaseStat()
+        stat.add(seconds)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-safe dump: phase -> {count, total_s, mean_s, min_s, max_s}."""
+        return {
+            name: {
+                "count": stat.count,
+                "total_s": stat.total,
+                "mean_s": stat.mean,
+                "min_s": stat.min if stat.count else 0.0,
+                "max_s": stat.max,
+            }
+            for name, stat in sorted(self.phases.items())
+        }
+
+    def render(self) -> str:
+        """Aligned per-phase timing table, heaviest phase first."""
+        if not self.phases:
+            return "(no phases recorded)"
+        rows = sorted(
+            self.phases.items(), key=lambda kv: kv[1].total, reverse=True
+        )
+        lines = [
+            f"{'phase':<20} {'count':>8} {'total s':>10} "
+            f"{'mean ms':>10} {'max ms':>10}"
+        ]
+        for name, stat in rows:
+            lines.append(
+                f"{name:<20} {stat.count:>8} {stat.total:>10.4f} "
+                f"{stat.mean * 1e3:>10.4f} {stat.max * 1e3:>10.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Event sinks: JSONL trace files, ring buffers, console summaries.
+
+Sinks receive plain dict records from an
+:class:`~repro.obs.events.Observer` — one dict per event plus a final
+``run_summary`` trailer.  The JSONL format is the interchange point:
+``repro obs summarize trace.jsonl`` renders event counts and per-phase
+timings from the file alone.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+__all__ = [
+    "JsonlSink",
+    "RingBufferSink",
+    "ConsoleSummarySink",
+    "read_jsonl",
+    "summarize_jsonl",
+]
+
+
+class JsonlSink:
+    """Appends one JSON line per record to ``path``."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` records in memory."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.records: Deque[Dict[str, object]] = collections.deque(
+            maxlen=capacity
+        )
+
+    def write(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def kinds(self) -> List[str]:
+        """Event kinds in arrival order (handy in tests)."""
+        return [str(r.get("kind")) for r in self.records]
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class ConsoleSummarySink:
+    """Counts records per kind; renders a human-readable digest."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream
+        self.counts: Dict[str, int] = collections.Counter()
+        self.trailer: Optional[Dict[str, object]] = None
+
+    def write(self, record: Dict[str, object]) -> None:
+        kind = str(record.get("kind"))
+        if kind == "run_summary":
+            self.trailer = record
+        else:
+            self.counts[kind] += 1
+
+    def render(self) -> str:
+        lines = ["event counts:"]
+        for kind, count in sorted(self.counts.items()):
+            lines.append(f"  {kind:<24} {count}")
+        if not self.counts:
+            lines.append("  (none)")
+        if self.trailer is not None:
+            lines.append(_render_trailer(self.trailer))
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.stream is not None:
+            print(self.render(), file=self.stream)
+
+
+# ----------------------------------------------------------------------
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load every record of a JSONL trace file."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _render_trailer(trailer: Dict[str, object]) -> str:
+    lines: List[str] = []
+    result = trailer.get("result") or {}
+    if result:
+        lines.append("headline result:")
+        for key, value in result.items():
+            if isinstance(value, float):
+                lines.append(f"  {key:<24} {value:.6g}")
+            else:
+                lines.append(f"  {key:<24} {value}")
+    profile = trailer.get("profile") or {}
+    if profile:
+        lines.append("per-phase timing:")
+        lines.append(
+            f"  {'phase':<20} {'count':>8} {'total s':>10} {'mean ms':>10}"
+        )
+        rows = sorted(
+            profile.items(),
+            key=lambda kv: kv[1].get("total_s", 0.0),
+            reverse=True,
+        )
+        for name, stat in rows:
+            lines.append(
+                f"  {name:<20} {stat.get('count', 0):>8} "
+                f"{stat.get('total_s', 0.0):>10.4f} "
+                f"{stat.get('mean_s', 0.0) * 1e3:>10.4f}"
+            )
+    return "\n".join(lines)
+
+
+def summarize_jsonl(path: Union[str, Path]) -> str:
+    """Render a trace file the way ``repro obs summarize`` prints it."""
+    records = read_jsonl(path)
+    summary = ConsoleSummarySink()
+    for record in records:
+        summary.write(record)
+    scheduler = (
+        summary.trailer.get("scheduler") if summary.trailer else None
+    )
+    header = [f"trace: {path}", f"records: {len(records)}"]
+    if scheduler:
+        header.append(f"scheduler: {scheduler}")
+    return "\n".join(header) + "\n" + summary.render()

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Sequence
 
+from ..obs.events import NULL_OBSERVER, Observer
 from ..sim.views import PeriodEndView, PeriodStartView, SlotView
 from ..tasks.graph import TaskGraph
 from ..timeline import Timeline
@@ -31,6 +32,10 @@ class Scheduler(abc.ABC):
 
     #: Human-readable policy name used in reports and figures.
     name: str = "scheduler"
+
+    #: Event/metrics emitter; the engine attaches its observer at run
+    #: start, standalone schedulers keep the disabled default.
+    observer: Observer = NULL_OBSERVER
 
     def bind(self, timeline: Timeline, graph: TaskGraph) -> None:
         """Called once before a run; default stores the references."""

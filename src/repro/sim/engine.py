@@ -23,11 +23,13 @@ the rest of the slot.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..node.node import SensorNode
+from ..obs.events import NULL_OBSERVER, Observer
 from ..schedulers.base import Scheduler
 from ..solar.trace import SolarTrace
 from ..tasks.graph import TaskGraph
@@ -62,6 +64,10 @@ class SimulationEngine:
         silently dropped (useful for learned policies).
     record_slots:
         When True, dense per-slot arrays are kept in the result.
+    observer:
+        Observability hub (event sinks, metrics, phase profiler).
+        Defaults to the disabled :data:`~repro.obs.events.NULL_OBSERVER`,
+        which adds no measurable cost and changes no behaviour.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class SimulationEngine:
         scheduler: Scheduler,
         strict: bool = True,
         record_slots: bool = False,
+        observer: Optional[Observer] = None,
     ) -> None:
         if graph.num_nvps > node.num_nvps:
             raise ValueError(
@@ -85,6 +92,7 @@ class SimulationEngine:
         self.scheduler = scheduler
         self.strict = strict
         self.record_slots = record_slots
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def _bank_view(self) -> BankView:
@@ -145,6 +153,11 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         tl = self.timeline
         dt = tl.slot_seconds
+        obs = self.observer
+        active = obs.enabled
+        # Attach the observer to the other emitters for this run.
+        self.scheduler.observer = obs
+        self.node.pmu.observer = obs
         self.scheduler.bind(tl, self.graph)
 
         period_records: List[PeriodRecord] = []
@@ -167,20 +180,26 @@ class SimulationEngine:
         for day, period in tl.iter_periods():
             runtime = PeriodRuntime(self.graph, tl)
             accumulated = dmr_sum / periods_done if periods_done else 0.0
-            self.scheduler.on_period_start(
-                PeriodStartView(
-                    timeline=tl,
-                    graph=self.graph,
-                    day=day,
-                    period=period,
-                    bank=self._bank_view(),
-                    accumulated_dmr=accumulated,
-                    last_period_energy=last_period_energy,
-                    last_period_powers=last_period_powers,
-                    request_capacitor=self.node.pmu.request_capacitor,
-                    force_capacitor=self.node.pmu.force_capacitor,
-                )
+            if active:
+                obs.set_time(day, period)
+            start_view = PeriodStartView(
+                timeline=tl,
+                graph=self.graph,
+                day=day,
+                period=period,
+                bank=self._bank_view(),
+                accumulated_dmr=accumulated,
+                last_period_energy=last_period_energy,
+                last_period_powers=last_period_powers,
+                request_capacitor=self.node.pmu.request_capacitor,
+                force_capacitor=self.node.pmu.force_capacitor,
             )
+            with obs.span("coarse_hook") as coarse_span:
+                self.scheduler.on_period_start(start_view)
+            if active:
+                obs.metrics.histogram("coarse_pass_seconds").observe(
+                    coarse_span.elapsed
+                )
 
             start_voltages = self.node.bank.voltages()
             active_at_start = self.node.bank.active_index
@@ -190,8 +209,14 @@ class SimulationEngine:
             brownouts = 0
             period_powers = np.zeros(tl.slots_per_period)
 
+            slot_loop_span = obs.span("slot_loop")
+            slot_loop_span.__enter__()
             for slot in range(tl.slots_per_period):
-                runtime.check_deadlines(slot)
+                if active:
+                    obs.set_time(day, period, slot)
+                newly_missed = runtime.check_deadlines(slot)
+                if active and newly_missed:
+                    obs.deadline_miss(newly_missed)
                 solar_power = self.trace.slot_power(SlotIndex(day, period, slot))
                 period_powers[slot] = solar_power
                 ready = runtime.ready_tasks(slot)
@@ -233,6 +258,14 @@ class SimulationEngine:
                         for i, level in chosen
                     ]
                 )
+                if active:
+                    obs.slot_decision(
+                        ready=ready,
+                        chosen=tuple(i for i, _ in chosen),
+                        solar_power=solar_power,
+                        load_power=load_power,
+                        run_fraction=flow.run_fraction,
+                    )
                 # NVP nonvolatility bookkeeping: a brownout checkpoints
                 # the affected cores (backup energy), the next powered
                 # slot restores them.  The energies are tiny (µJ, [13])
@@ -241,6 +274,14 @@ class SimulationEngine:
                 active_nvps = {self.graph.nvp_of(i) for i, _ in chosen}
                 if flow.run_fraction < 1.0 - 1e-9 and chosen:
                     brownouts += 1
+                    if active:
+                        obs.brownout(
+                            run_fraction=flow.run_fraction,
+                            needed_energy=load_power * dt,
+                            delivered_energy=flow.load_energy,
+                            active_index=self.node.bank.active_index,
+                            active_voltage=self.node.bank.active.voltage,
+                        )
                     for k in active_nvps:
                         cycle_cost += self.node.nvps[k].power_fail()
                 else:
@@ -248,7 +289,14 @@ class SimulationEngine:
                         cycle_cost += self.node.nvps[k].power_up()
                 if cycle_cost > 0:
                     self.node.bank.active.discharge(cycle_cost)
-                lost = self.node.bank.leak_all(dt)
+                if active:
+                    _leak_t0 = perf_counter()
+                    lost = self.node.bank.leak_all(dt)
+                    obs.profiler.add(
+                        "leakage_update", perf_counter() - _leak_t0
+                    )
+                else:
+                    lost = self.node.bank.leak_all(dt)
 
                 solar_energy += solar_power * dt
                 load_energy += flow.load_energy
@@ -268,8 +316,17 @@ class SimulationEngine:
                     )
                     slot_arrays.active_index[flat] = self.node.bank.active_index
 
-            runtime.check_deadlines(tl.slots_per_period)
-            runtime.finalize()
+            slot_loop_span.__exit__(None, None, None)
+            if active:
+                obs.metrics.histogram("fine_pass_seconds").observe(
+                    slot_loop_span.elapsed
+                )
+                obs.set_time(day, period, tl.slots_per_period)
+            boundary_missed = runtime.check_deadlines(tl.slots_per_period)
+            sweep_missed = runtime.finalize()
+            if active:
+                obs.deadline_miss(boundary_missed)
+                obs.deadline_miss(sweep_missed, final=True)
             dmr = runtime.dmr
             dmr_sum += dmr
             periods_done += 1
@@ -294,6 +351,14 @@ class SimulationEngine:
                 active_index=active_at_start,
             )
             period_records.append(record)
+            if active:
+                obs.period_end(
+                    dmr=dmr,
+                    miss_count=runtime.miss_count,
+                    brownout_slots=brownouts,
+                    solar_energy=solar_energy,
+                    load_energy=load_energy,
+                )
             self.scheduler.on_period_end(
                 PeriodEndView(
                     day=day,
@@ -306,12 +371,15 @@ class SimulationEngine:
                 )
             )
 
-        return SimulationResult(
+        result = SimulationResult(
             timeline=tl,
             scheduler_name=self.scheduler.name,
             periods=period_records,
             slots=slot_arrays,
         )
+        if active:
+            obs.finish(result.summary(), scheduler=result.scheduler_name)
+        return result
 
 
 def simulate(
@@ -321,8 +389,15 @@ def simulate(
     scheduler: Scheduler,
     strict: bool = True,
     record_slots: bool = False,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     return SimulationEngine(
-        node, graph, trace, scheduler, strict=strict, record_slots=record_slots
+        node,
+        graph,
+        trace,
+        scheduler,
+        strict=strict,
+        record_slots=record_slots,
+        observer=observer,
     ).run()

@@ -128,13 +128,14 @@ class SimulationResult:
         return self.total_load_energy / total if total > 0 else 0.0
 
     def energy_utilization_by_day(self) -> np.ndarray:
-        out = np.zeros(self.timeline.num_days)
-        for day in range(self.timeline.num_days):
-            records = [p for p in self.periods if p.day == day]
-            solar = sum(p.solar_energy for p in records)
-            load = sum(p.load_energy for p in records)
-            out[day] = load / solar if solar > 0 else 0.0
-        return out
+        solar = np.zeros(self.timeline.num_days)
+        load = np.zeros(self.timeline.num_days)
+        for p in self.periods:
+            solar[p.day] += p.solar_energy
+            load[p.day] += p.load_energy
+        return np.divide(
+            load, solar, out=np.zeros_like(load), where=solar > 0
+        )
 
     @property
     def migration_efficiency(self) -> float:

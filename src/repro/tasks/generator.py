@@ -139,6 +139,13 @@ def _edges_for(
     raise AssertionError(structure)
 
 
+#: Random-layout retries before falling back to the deterministic
+#: repair (high-utilization specs can make the random layout fail with
+#: probability near one; unbounded retries used to hit the recursion
+#: limit there).
+_MAX_ATTEMPTS = 64
+
+
 def generate_workload(spec: WorkloadSpec, seed: int = 0) -> TaskGraph:
     """Build a feasible task graph matching the spec.
 
@@ -148,7 +155,23 @@ def generate_workload(spec: WorkloadSpec, seed: int = 0) -> TaskGraph:
     sane mW range).  Deadlines are laid out topologically: each task's
     deadline leaves room for its own work after the latest-deadline
     producer and keeps per-NVP cumulative demand feasible.
+
+    The random layout occasionally produces an infeasible set (crowded
+    NVP); it is retried with derived seeds, and after
+    :data:`_MAX_ATTEMPTS` failures a deterministic repair shrinks
+    execution times to the per-NVP capacity and places every deadline
+    at the period end, which is feasible by construction.
     """
+    for attempt in range(_MAX_ATTEMPTS):
+        graph = _generate_once(spec, seed + attempt * 10_007)
+        if graph.feasible_in(spec.period_seconds, spec.slot_seconds):
+            return graph
+    return _generate_once(spec, seed, repair=True)
+
+
+def _generate_once(
+    spec: WorkloadSpec, seed: int, repair: bool = False
+) -> TaskGraph:
     rng = np.random.default_rng(seed)
     n = spec.num_tasks
     slots = int(round(spec.period_seconds / spec.slot_seconds))
@@ -181,11 +204,32 @@ def generate_workload(spec: WorkloadSpec, seed: int = 0) -> TaskGraph:
     exec_slots = np.clip(
         np.maximum(exec_slots, min_slots), 1, max_exec_slots
     )
+
+    nvp_of = [i % spec.num_nvps for i in range(n)]
+    if repair:
+        # Deterministic fallback: shrink the largest tasks of any
+        # over-subscribed NVP until its demand fits the period, and put
+        # every deadline at the period end — feasible by construction.
+        for nvp in range(spec.num_nvps):
+            members = [i for i in range(n) if nvp_of[i] == nvp]
+            if len(members) > slots:
+                raise ValueError(
+                    f"spec is infeasible: {len(members)} tasks on NVP "
+                    f"{nvp} but only {slots} slots per period"
+                )
+            while sum(int(exec_slots[i]) for i in members) > slots:
+                largest = max(members, key=lambda i: exec_slots[i])
+                exec_slots[largest] -= 1
+        deadline_slots = np.full(n, slots, dtype=int)
+        exec_times = exec_slots * spec.slot_seconds
+        powers = np.clip(energies / exec_times, 2e-3, power_ceiling)
+        return _assemble(spec, seed, exec_times, deadline_slots,
+                         powers, nvp_of, edges_idx)
+
     exec_times = exec_slots * spec.slot_seconds
     powers = np.clip(energies / exec_times, 2e-3, power_ceiling)
 
     # Deadlines: topological layout honouring producers and NVP load.
-    nvp_of = [i % spec.num_nvps for i in range(n)]
     nvp_cumulative = [0] * spec.num_nvps
     deadline_slots = np.zeros(n, dtype=int)
     for i in range(n):  # indices are already topologically ordered
@@ -200,6 +244,19 @@ def generate_workload(spec: WorkloadSpec, seed: int = 0) -> TaskGraph:
         latest = slots
         deadline_slots[i] = int(rng.integers(earliest, latest + 1))
 
+    return _assemble(spec, seed, exec_times, deadline_slots, powers,
+                     nvp_of, edges_idx)
+
+
+def _assemble(
+    spec: WorkloadSpec,
+    seed: int,
+    exec_times: np.ndarray,
+    deadline_slots: np.ndarray,
+    powers: np.ndarray,
+    nvp_of: List[int],
+    edges_idx: List[Tuple[int, int]],
+) -> TaskGraph:
     tasks = [
         Task(
             name=f"t{i}",
@@ -208,13 +265,9 @@ def generate_workload(spec: WorkloadSpec, seed: int = 0) -> TaskGraph:
             power=float(round(powers[i], 6)),
             nvp=nvp_of[i],
         )
-        for i in range(n)
+        for i in range(len(exec_times))
     ]
     edges = [(f"t{a}", f"t{b}") for a, b in edges_idx]
-    graph = TaskGraph(
+    return TaskGraph(
         tasks, edges, name=f"{spec.structure}-u{spec.utilization:g}-s{seed}"
     )
-    if not graph.feasible_in(spec.period_seconds, spec.slot_seconds):
-        # Rare corner (crowded NVP): retry with a derived seed.
-        return generate_workload(spec, seed=seed + 10_007)
-    return graph
