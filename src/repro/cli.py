@@ -39,15 +39,23 @@ from .obs import (
     summarize_jsonl,
     timeline_dict,
 )
+from .reliability import RUNTIME_SCENARIOS, FaultInjector, runtime_scenario
 from .schedulers import (
     DVFSLoadMatchingScheduler,
     GreedyEDFScheduler,
     InterTaskScheduler,
     IntraTaskScheduler,
 )
-from .sim.engine import simulate
+from .sim import (
+    CheckpointConfig,
+    CheckpointError,
+    SimulationInterrupted,
+    latest_checkpoint,
+    result_fingerprint,
+)
+from .sim.engine import InvalidDecisionError, simulate
 from .solar import four_day_trace, synthetic_trace
-from .solar.dataset import write_midc_csv
+from .solar.dataset import MIDCFormatError, write_midc_csv
 from .tasks import paper_benchmarks
 from .timeline import Timeline
 
@@ -133,6 +141,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="PATH",
         help="write a run-provenance manifest (JSON) to PATH",
     )
+    sim.add_argument(
+        "--max-slots", type=int, metavar="N",
+        help="refuse runs longer than N slots (guard against typos "
+        "like --days 4000)",
+    )
+    sim.add_argument(
+        "--fault-scenario", choices=sorted(RUNTIME_SCENARIOS),
+        help="inject a seeded runtime fault scenario into the run",
+    )
+    sim.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan (default 0)",
+    )
+    sim.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write crash-safe checkpoints to DIR at period boundaries",
+    )
+    sim.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="N",
+        help="checkpoint every N periods (default 8)",
+    )
+    sim.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    sim.add_argument(
+        "--stop-after-periods", type=int, metavar="N",
+        help="checkpoint and stop after N periods (simulated crash; "
+        "requires --checkpoint-dir)",
+    )
 
     exp = commands.add_parser("experiment", help="reproduce a table/figure")
     exp.add_argument("name", choices=_EXPERIMENTS)
@@ -167,8 +205,36 @@ def _cmd_list(out) -> int:
 def _cmd_simulate(args, out) -> int:
     graph = paper_benchmarks()[args.benchmark]
     trace = _trace(args.days, args.seed)
+    timeline = trace.timeline
+    if args.max_slots is not None and timeline.total_slots > args.max_slots:
+        raise ValueError(
+            f"run spans {timeline.total_slots} slots, over the "
+            f"--max-slots guard of {args.max_slots}"
+        )
     scheduler = _SCHEDULERS[args.scheduler]()
     node = quick_node(graph)
+
+    fault_injector = None
+    if args.fault_scenario:
+        plan = runtime_scenario(
+            args.fault_scenario, timeline, seed=args.fault_seed
+        )
+        fault_injector = FaultInjector(plan, timeline)
+
+    checkpoint = None
+    resume_from = None
+    if args.resume and not args.checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir:
+        checkpoint = CheckpointConfig(
+            args.checkpoint_dir, every_periods=args.checkpoint_every
+        )
+        if args.resume:
+            resume_from = latest_checkpoint(args.checkpoint_dir)
+            if resume_from is None:
+                raise CheckpointError(
+                    f"no checkpoint to resume in {args.checkpoint_dir}"
+                )
 
     sinks = []
     if args.trace:
@@ -177,9 +243,22 @@ def _cmd_simulate(args, out) -> int:
     observer = Observer(sinks=sinks) if observe else None
 
     t0 = time.perf_counter()
-    result = simulate(
-        node, graph, trace, scheduler, strict=False, observer=observer
-    )
+    try:
+        result = simulate(
+            node, graph, trace, scheduler, strict=False, observer=observer,
+            fault_injector=fault_injector, checkpoint=checkpoint,
+            resume_from=resume_from,
+            stop_after_periods=args.stop_after_periods,
+        )
+    except SimulationInterrupted as stop:
+        print(
+            f"stopped after {stop.periods_done} period(s); resume with "
+            f"--resume --checkpoint-dir {args.checkpoint_dir}",
+            file=out,
+        )
+        if observer is not None:
+            observer.close()
+        return 0
     wall = time.perf_counter() - t0
 
     print(f"benchmark:          {args.benchmark}", file=out)
@@ -192,6 +271,13 @@ def _cmd_simulate(args, out) -> int:
         + ", ".join(f"{x:.3f}" for x in result.dmr_by_day()),
         file=out,
     )
+    print(f"fingerprint:        {result_fingerprint(result)}", file=out)
+    if fault_injector is not None:
+        print(
+            f"fault activations:  {fault_injector.total_activations} "
+            f"(scenario {args.fault_scenario}, seed {args.fault_seed})",
+            file=out,
+        )
     if args.trace:
         logger.info("wrote event trace to %s", args.trace)
         print(f"event trace:        {args.trace}", file=out)
@@ -205,7 +291,12 @@ def _cmd_simulate(args, out) -> int:
             scheduler=scheduler.name,
             benchmark=args.benchmark,
             timeline=timeline_dict(trace.timeline),
-            config={"days": args.days, "strict": False},
+            config={
+                "days": args.days,
+                "strict": False,
+                "fault_scenario": args.fault_scenario,
+                "fault_seed": args.fault_seed,
+            },
             result_summary=result.summary(),
             wall_time_s=wall,
         )
@@ -307,6 +398,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         except OSError:
             pass
         return 0
+    # One-line errors with distinct exit codes: 2 = bad input/data,
+    # 3 = checkpoint mismatch/corruption, 4 = simulation failure.
+    except (MIDCFormatError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 3
+    except InvalidDecisionError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 4
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -18,13 +18,17 @@ from .lut import LookupTable, LUTEntry, solar_classes
 from .features import ALPHA_SCALE, FeatureCodec
 from .ann import DBN, RBM, HeadSpec, MultiHeadMLP
 from .online import (
+    ALPHA_MAX,
+    CoarseDecisionError,
     CoarsePolicy,
     DBNPolicy,
     HeuristicPolicy,
+    InjectedInferenceFault,
     NearestSamplePolicy,
     ProposedScheduler,
     close_subset,
     fine_grained_decision,
+    validate_coarse_decision,
 )
 from .optimal import StaticOptimalScheduler
 from .horizon import RecedingHorizonScheduler
@@ -51,7 +55,11 @@ __all__ = [
     "HeadSpec",
     "MultiHeadMLP",
     "DBN",
+    "ALPHA_MAX",
+    "CoarseDecisionError",
     "CoarsePolicy",
+    "InjectedInferenceFault",
+    "validate_coarse_decision",
     "DBNPolicy",
     "NearestSamplePolicy",
     "HeuristicPolicy",

@@ -34,13 +34,74 @@ from .longterm import TrainingSample
 
 __all__ = [
     "CoarsePolicy",
+    "CoarseDecisionError",
+    "InjectedInferenceFault",
     "DBNPolicy",
     "NearestSamplePolicy",
     "HeuristicPolicy",
     "ProposedScheduler",
     "fine_grained_decision",
     "close_subset",
+    "validate_coarse_decision",
+    "ALPHA_MAX",
 ]
+
+#: Largest plausible scheduling-pattern index α.  The paper's α is the
+#: ratio of attempted load to expected harvest — a handful at most; a
+#: coarse-stage output beyond this is corrupt, not ambitious.
+ALPHA_MAX = 100.0
+
+
+class CoarseDecisionError(RuntimeError):
+    """A coarse policy produced an invalid (capacitor, α, te) triple."""
+
+
+class InjectedInferenceFault(RuntimeError):
+    """Raised when a runtime fault plan forces an inference failure."""
+
+
+def validate_coarse_decision(
+    num_tasks: int, num_capacitors: int, cap, alpha, te
+) -> Tuple[int, float, np.ndarray]:
+    """Validate and normalise a coarse decision, or raise.
+
+    Checks the three things a corrupted model output gets wrong: the
+    capacitor index must address the bank, α must be a finite
+    scheduling-pattern index in ``[0, ALPHA_MAX]``, and the task
+    subset must be a finite boolean vector over the task set.  Raises
+    :class:`CoarseDecisionError` with a one-line reason; never lets a
+    malformed triple reach the slot loop.
+    """
+    try:
+        cap = int(cap)
+    except (TypeError, ValueError) as exc:
+        raise CoarseDecisionError(
+            f"capacitor index {cap!r} is not an integer"
+        ) from exc
+    if not 0 <= cap < num_capacitors:
+        raise CoarseDecisionError(
+            f"capacitor index {cap} outside [0, {num_capacitors})"
+        )
+    try:
+        alpha = float(alpha)
+    except (TypeError, ValueError) as exc:
+        raise CoarseDecisionError(f"alpha {alpha!r} is not a float") from exc
+    if not np.isfinite(alpha) or not 0.0 <= alpha <= ALPHA_MAX:
+        raise CoarseDecisionError(
+            f"alpha {alpha} outside [0, {ALPHA_MAX}] or non-finite"
+        )
+    te_arr = np.asarray(te)
+    if te_arr.shape != (num_tasks,):
+        raise CoarseDecisionError(
+            f"task subset has shape {te_arr.shape}, expected "
+            f"({num_tasks},)"
+        )
+    if te_arr.dtype != bool:
+        values = te_arr.astype(float)
+        if not np.all(np.isfinite(values)):
+            raise CoarseDecisionError("task subset contains non-finite values")
+        te_arr = values >= 0.5
+    return cap, alpha, te_arr
 
 
 def close_subset(graph: TaskGraph, te: np.ndarray) -> np.ndarray:
@@ -208,7 +269,20 @@ class HeuristicPolicy(CoarsePolicy):
 
 
 class ProposedScheduler(Scheduler):
-    """The paper's online algorithm: coarse policy + δ-selected fine pass."""
+    """The paper's online algorithm: coarse policy + δ-selected fine pass.
+
+    The coarse stage is wrapped in a graceful-degradation ladder
+    mirroring the paper's δ-fallback philosophy: a failing or corrupt
+    coarse model narrows the schedule, it never crashes the slot loop.
+    On a primary-policy failure (exception or invalid output per
+    :func:`validate_coarse_decision`) the stage retries once, then
+    falls back to ``fallback_policy`` (typically the LUT-style
+    :class:`NearestSamplePolicy`), then to inter-task-only scheduling
+    of the full task set.  ``quarantine_threshold`` consecutive
+    primary failures quarantine the primary for
+    ``quarantine_periods`` periods so a persistently broken model
+    stops being retried every period.
+    """
 
     name = "proposed"
 
@@ -217,6 +291,10 @@ class ProposedScheduler(Scheduler):
         policy: CoarsePolicy,
         delta: float = 0.5,
         name: Optional[str] = None,
+        fallback_policy: Optional[CoarsePolicy] = None,
+        max_retries: int = 1,
+        quarantine_threshold: int = 3,
+        quarantine_periods: int = 10,
     ) -> None:
         """
         Parameters
@@ -226,15 +304,145 @@ class ProposedScheduler(Scheduler):
         delta:
             δ of Section 5.2: when ``|1 - α| > delta`` the cheap
             inter-task pass replaces the intra-task matching.
+        fallback_policy:
+            Second rung of the degradation ladder; None skips straight
+            to inter-task-only scheduling.
+        max_retries:
+            Primary-policy retries per period before falling back.
+        quarantine_threshold:
+            Consecutive primary failures before quarantine kicks in.
+        quarantine_periods:
+            Periods the primary is skipped once quarantined.
         """
         if delta < 0:
             raise ValueError(f"delta must be >= 0, got {delta}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, got "
+                f"{quarantine_threshold}"
+            )
+        if quarantine_periods < 1:
+            raise ValueError(
+                f"quarantine_periods must be >= 1, got {quarantine_periods}"
+            )
         self.policy = policy
         self.delta = delta
+        self.fallback_policy = fallback_policy
+        self.max_retries = max_retries
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_periods = quarantine_periods
         if name is not None:
             self.name = name
         self._selected: Set[int] = set()
         self._intra_mode = True
+        self._failure_streak = 0
+        self._quarantine_left = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_streak(self) -> int:
+        """Consecutive primary-policy failures (0 after any success)."""
+        return self._failure_streak
+
+    @property
+    def quarantined(self) -> bool:
+        """True while the primary policy is quarantined."""
+        return self._quarantine_left > 0
+
+    def _attempt(
+        self, policy: CoarsePolicy, view: PeriodStartView,
+        prev: np.ndarray, injected_failure: bool,
+    ) -> Tuple[int, float, np.ndarray]:
+        if injected_failure:
+            raise InjectedInferenceFault(
+                "runtime fault plan forced an inference failure"
+            )
+        span_name = (
+            "dbn_forward" if isinstance(policy, DBNPolicy) else "coarse_decide"
+        )
+        with self.observer.span(span_name):
+            cap, alpha, te = policy.decide(
+                prev, view.bank.voltages, view.accumulated_dmr
+            )
+        return validate_coarse_decision(
+            len(view.graph), len(view.bank.capacitances), cap, alpha, te
+        )
+
+    def _coarse_with_degradation(
+        self, view: PeriodStartView, prev: np.ndarray
+    ) -> Tuple[int, float, np.ndarray]:
+        """Walk the degradation ladder; always returns a usable triple."""
+        obs = self.observer
+        injected = view.faults is not None and view.faults.fail_inference
+        last_error: object = None
+
+        if self._quarantine_left > 0:
+            self._quarantine_left -= 1
+            last_error = "primary policy quarantined"
+            obs.policy_fallback(
+                stage="quarantine",
+                reason=(
+                    f"primary skipped, {self._quarantine_left + 1} "
+                    "period(s) of quarantine remaining"
+                ),
+                failure_streak=self._failure_streak,
+            )
+        else:
+            for attempt in range(1 + self.max_retries):
+                if attempt > 0:
+                    obs.policy_fallback(
+                        stage="retry",
+                        reason=str(last_error),
+                        failure_streak=self._failure_streak,
+                    )
+                try:
+                    result = self._attempt(self.policy, view, prev, injected)
+                except Exception as exc:  # degrade, never crash the loop
+                    last_error = exc
+                else:
+                    self._failure_streak = 0
+                    return result
+            self._failure_streak += 1
+            if self._failure_streak >= self.quarantine_threshold:
+                self._quarantine_left = self.quarantine_periods
+                obs.policy_fallback(
+                    stage="quarantine",
+                    reason=(
+                        f"{self._failure_streak} consecutive failures; "
+                        f"last: {last_error}"
+                    ),
+                    failure_streak=self._failure_streak,
+                )
+
+        if self.fallback_policy is not None:
+            try:
+                result = self._attempt(self.fallback_policy, view, prev, False)
+            except Exception as exc:
+                last_error = exc
+            else:
+                obs.policy_fallback(
+                    stage="fallback_policy",
+                    reason=str(last_error),
+                    failure_streak=self._failure_streak,
+                )
+                return result
+
+        # Terminal rung, always valid: keep the active capacitor,
+        # attempt every task, and force |1 - α| > δ so the cheap
+        # inter-task pass runs — the δ-fallback generalised to "the
+        # coarse stage is down".
+        obs.policy_fallback(
+            stage="inter_task_only",
+            reason=str(last_error),
+            failure_streak=self._failure_streak,
+        )
+        return (
+            view.bank.active_index,
+            1.0 + self.delta + 1.0,
+            np.ones(len(view.graph), dtype=bool),
+        )
 
     def on_period_start(self, view: PeriodStartView) -> None:
         prev = (
@@ -243,15 +451,7 @@ class ProposedScheduler(Scheduler):
             else np.zeros(view.timeline.slots_per_period)
         )
         obs = self.observer
-        span_name = (
-            "dbn_forward"
-            if isinstance(self.policy, DBNPolicy)
-            else "coarse_decide"
-        )
-        with obs.span(span_name):
-            cap, alpha, te = self.policy.decide(
-                prev, view.bank.voltages, view.accumulated_dmr
-            )
+        cap, alpha, te = self._coarse_with_degradation(view, prev)
         te = close_subset(view.graph, np.asarray(te, dtype=bool))
         self._selected = set(np.flatnonzero(te).tolist())
         self._intra_mode = abs(1.0 - alpha) <= self.delta

@@ -130,6 +130,20 @@ class CapacitorBank:
             return True
         return False
 
+    def swap_device(self, index: int, capacitor: SuperCapacitor) -> SuperCapacitor:
+        """Replace the device model of capacitor ``index`` in place.
+
+        Fault-injection hook: lets transient leakage/ESR spikes be
+        imposed (and later reverted) on one bank member while its
+        terminal voltage — the mutable state — is preserved.  Returns
+        the previous device.
+        """
+        if not 0 <= index < len(self.states):
+            raise IndexError(
+                f"index {index} out of range [0, {len(self.states)})"
+            )
+        return self.states[index].swap_device(capacitor)
+
     def richest_index(self) -> int:
         """Capacitor with the most usable energy (ties → smaller C)."""
         energies = self.usable_energies()

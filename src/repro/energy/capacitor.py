@@ -248,6 +248,24 @@ class CapacitorState:
             delivered_total += delivered
         return delivered_total
 
+    def swap_device(self, capacitor: SuperCapacitor) -> SuperCapacitor:
+        """Replace the device model under this state, keeping the charge.
+
+        Used by runtime fault injection to impose transient leakage or
+        ESR (cycle-efficiency) spikes without touching the stored
+        energy: the replacement must have the same capacitance so the
+        voltage↔energy mapping is unchanged.  Returns the previous
+        device so callers can restore it when the fault clears.
+        """
+        if capacitor.capacitance != self.capacitor.capacitance:
+            raise ValueError(
+                "swap_device requires equal capacitance "
+                f"({capacitor.capacitance} != {self.capacitor.capacitance})"
+            )
+        previous = self.capacitor
+        self.capacitor = capacitor
+        return previous
+
     def leak(self, duration: float) -> float:
         """Apply leakage for ``duration`` seconds; returns energy lost."""
         if duration < 0:

@@ -62,13 +62,20 @@ class PMU:
         # Event emitter; the engine attaches its observer at run start.
         # Not a dataclass field: repr/eq stay as before.
         self.observer = NULL_OBSERVER
+        # Fault-injection hook: while True, the capacitor-selection
+        # switch is stuck and every request is refused (a stuck
+        # regulator/mux); the direct and storage channels keep working.
+        self.switch_locked = False
 
     # ------------------------------------------------------------------
     def request_capacitor(self, index: int) -> bool:
         """Apply the Eq. (22) switching rule; True if now active."""
         previous = self.bank.active_index
         usable = self.bank.active.usable_energy
-        accepted = self.bank.request_switch(index, self.switch_threshold)
+        if self.switch_locked:
+            accepted = index == previous
+        else:
+            accepted = self.bank.request_switch(index, self.switch_threshold)
         self.observer.capacitor_switch(
             previous=previous,
             requested=index,

@@ -27,13 +27,17 @@ from __future__ import annotations
 from .events import (
     BrownoutEvent,
     CapacitorSwitchEvent,
+    CheckpointEvent,
     CoarseDecisionEvent,
     DeadlineMissEvent,
     DeltaFallbackEvent,
     Event,
+    FaultInjectionEvent,
+    FaultScenarioEvent,
     NULL_OBSERVER,
     Observer,
     PeriodEndEvent,
+    PolicyFallbackEvent,
     SlotDecisionEvent,
 )
 from .manifest import (
@@ -63,6 +67,10 @@ __all__ = [
     "CoarseDecisionEvent",
     "DeltaFallbackEvent",
     "PeriodEndEvent",
+    "FaultInjectionEvent",
+    "PolicyFallbackEvent",
+    "FaultScenarioEvent",
+    "CheckpointEvent",
     "Observer",
     "NULL_OBSERVER",
     "Counter",

@@ -32,6 +32,10 @@ __all__ = [
     "CoarseDecisionEvent",
     "DeltaFallbackEvent",
     "PeriodEndEvent",
+    "FaultInjectionEvent",
+    "PolicyFallbackEvent",
+    "FaultScenarioEvent",
+    "CheckpointEvent",
     "Observer",
     "NULL_OBSERVER",
 ]
@@ -142,6 +146,61 @@ class DeltaFallbackEvent(Event):
 
     alpha: float
     delta: float
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjectionEvent(Event):
+    """A runtime fault window activated or deactivated.
+
+    ``phase`` is ``"start"`` when the window begins and ``"end"`` when
+    it clears; ``target`` is the affected capacitor index for
+    component-level faults, ``-1`` otherwise.
+    """
+
+    kind = "fault_injected"
+
+    fault: str
+    phase: str
+    severity: float
+    target: int
+    duration_slots: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyFallbackEvent(Event):
+    """The online coarse stage degraded instead of crashing.
+
+    ``stage`` names the rung of the degradation ladder that handled
+    the failure: ``retry``, ``fallback_policy``, ``inter_task_only``
+    or ``quarantine``.
+    """
+
+    kind = "policy_fallback"
+
+    stage: str
+    reason: str
+    failure_streak: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultScenarioEvent(Event):
+    """A pre-run trace-degradation scenario was applied."""
+
+    kind = "fault_scenario"
+
+    scenario: str
+    faults: Tuple[str, ...]
+    lost_energy_fraction: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointEvent(Event):
+    """A crash-safe simulation checkpoint was written."""
+
+    kind = "checkpoint"
+
+    path: str
+    flat_period: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -328,6 +387,82 @@ class Observer:
                 slot=-1,
                 alpha=float(alpha),
                 delta=float(delta),
+            )
+        )
+
+    def fault_injected(
+        self,
+        fault: str,
+        phase: str,
+        severity: float,
+        target: int,
+        duration_slots: int,
+    ) -> None:
+        if not self.enabled:
+            return
+        if phase == "start":
+            self.metrics.counter("faults_injected_total").inc()
+        self.emit(
+            FaultInjectionEvent(
+                day=self.day,
+                period=self.period,
+                slot=self.slot,
+                fault=str(fault),
+                phase=str(phase),
+                severity=float(severity),
+                target=int(target),
+                duration_slots=int(duration_slots),
+            )
+        )
+
+    def policy_fallback(
+        self, stage: str, reason: str, failure_streak: int
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("policy_fallbacks_total").inc()
+        self.emit(
+            PolicyFallbackEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                stage=str(stage),
+                reason=str(reason),
+                failure_streak=int(failure_streak),
+            )
+        )
+
+    def fault_scenario(
+        self,
+        scenario: str,
+        faults: Sequence[str],
+        lost_energy_fraction: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("fault_scenarios_applied_total").inc()
+        self.emit(
+            FaultScenarioEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                scenario=str(scenario),
+                faults=tuple(str(f) for f in faults),
+                lost_energy_fraction=float(lost_energy_fraction),
+            )
+        )
+
+    def checkpoint_saved(self, path: str, flat_period: int) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("checkpoints_written_total").inc()
+        self.emit(
+            CheckpointEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                path=str(path),
+                flat_period=int(flat_period),
             )
         )
 

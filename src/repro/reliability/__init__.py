@@ -8,6 +8,14 @@ from .faults import (
     age_capacitor,
 )
 from .harness import FaultScenario, RobustnessRow, robustness_report
+from .runtime import (
+    FAULT_KINDS,
+    RUNTIME_SCENARIOS,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    runtime_scenario,
+)
 
 __all__ = [
     "TraceFault",
@@ -18,4 +26,10 @@ __all__ = [
     "FaultScenario",
     "RobustnessRow",
     "robustness_report",
+    "FAULT_KINDS",
+    "RUNTIME_SCENARIOS",
+    "FaultWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "runtime_scenario",
 ]

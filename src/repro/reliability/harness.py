@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from ..obs import NULL_OBSERVER, Observer
 from ..schedulers.base import Scheduler
 from ..sim.engine import simulate
 from ..solar.trace import SolarTrace
@@ -58,12 +59,15 @@ def robustness_report(
     node_factory: Callable[[], SensorNode],
     scheduler_factories: Dict[str, Callable[[], Scheduler]],
     scenarios: Sequence[FaultScenario],
+    observer: Observer = NULL_OBSERVER,
 ) -> List[RobustnessRow]:
     """Evaluate every scheduler on the clean trace and every scenario.
 
     ``scheduler_factories`` and ``node_factory`` are callables because
     schedulers and nodes carry state across a run — each cell of the
-    report needs a fresh pair.
+    report needs a fresh pair.  ``observer`` receives one
+    ``fault_scenario`` event per degraded scenario so chaos sweeps
+    show up on the same event bus as the runs they wrap.
     """
     clean_energy = trace.total_energy()
     clean_dmr: Dict[str, float] = {}
@@ -87,6 +91,11 @@ def robustness_report(
     for scenario in scenarios:
         degraded = scenario.degrade(trace)
         lost = 1.0 - degraded.total_energy() / max(clean_energy, 1e-12)
+        observer.fault_scenario(
+            scenario=scenario.name,
+            faults=tuple(type(f).__name__ for f in scenario.faults),
+            lost_energy_fraction=lost,
+        )
         for name, make_scheduler in scheduler_factories.items():
             result = simulate(
                 node_factory(), graph, degraded, make_scheduler(),

@@ -1,8 +1,22 @@
 """Discrete-time simulator: runtime state, engine, records, metrics."""
 
 from .state import COMPLETION_EPS, PeriodRuntime
-from .views import BankView, PeriodEndView, PeriodStartView, SlotView
+from .views import (
+    BankView,
+    PeriodEndView,
+    PeriodFaultFlags,
+    PeriodStartView,
+    SlotView,
+)
 from .recorder import PeriodRecord, SimulationResult, SlotArrays
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    SimulationInterrupted,
+    latest_checkpoint,
+    result_fingerprint,
+    run_fingerprint,
+)
 from .engine import InvalidDecisionError, SimulationEngine, simulate
 
 __all__ = [
@@ -12,10 +26,17 @@ __all__ = [
     "PeriodStartView",
     "SlotView",
     "PeriodEndView",
+    "PeriodFaultFlags",
     "PeriodRecord",
     "SlotArrays",
     "SimulationResult",
     "SimulationEngine",
     "simulate",
     "InvalidDecisionError",
+    "CheckpointConfig",
+    "CheckpointError",
+    "SimulationInterrupted",
+    "latest_checkpoint",
+    "result_fingerprint",
+    "run_fingerprint",
 ]

@@ -23,8 +23,10 @@ the rest of the slot.
 
 from __future__ import annotations
 
+import pickle
+from pathlib import Path
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +36,17 @@ from ..schedulers.base import Scheduler
 from ..solar.trace import SolarTrace
 from ..tasks.graph import TaskGraph
 from ..timeline import SlotIndex
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointConfig,
+    CheckpointError,
+    SimulationInterrupted,
+    checkpoint_path,
+    load_checkpoint,
+    prune_checkpoints,
+    run_fingerprint,
+    save_checkpoint,
+)
 from .recorder import PeriodRecord, SimulationResult, SlotArrays
 from .state import PeriodRuntime
 from .views import BankView, PeriodEndView, PeriodStartView, SlotView
@@ -68,6 +81,15 @@ class SimulationEngine:
         Observability hub (event sinks, metrics, phase profiler).
         Defaults to the disabled :data:`~repro.obs.events.NULL_OBSERVER`,
         which adds no measurable cost and changes no behaviour.
+    fault_injector:
+        Optional runtime fault injector (a
+        :class:`~repro.reliability.runtime.FaultInjector`): supply
+        dropouts, capacitor leakage/ESR spikes, stuck regulator and
+        online-stage faults fire mid-run per its seeded plan.
+    checkpoint:
+        Optional :class:`~repro.sim.checkpoint.CheckpointConfig`;
+        when given, the run's mutable state is serialized at period
+        boundaries so a crashed run can resume bit-identically.
     """
 
     def __init__(
@@ -79,6 +101,8 @@ class SimulationEngine:
         strict: bool = True,
         record_slots: bool = False,
         observer: Optional[Observer] = None,
+        fault_injector=None,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> None:
         if graph.num_nvps > node.num_nvps:
             raise ValueError(
@@ -93,6 +117,8 @@ class SimulationEngine:
         self.strict = strict
         self.record_slots = record_slots
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.fault_injector = fault_injector
+        self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def _bank_view(self) -> BankView:
@@ -150,15 +176,44 @@ class SimulationEngine:
         return valid
 
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
+    def run(
+        self,
+        resume_from: Optional[Union[str, Path]] = None,
+        stop_after_periods: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the simulation, optionally resuming from a checkpoint.
+
+        Parameters
+        ----------
+        resume_from:
+            Path to a checkpoint written by a previous run of the same
+            configuration (verified by fingerprint).  The node must be
+            freshly constructed; its mutable state is overwritten.
+        stop_after_periods:
+            Deterministic crash stand-in: after this many total
+            periods are complete, write a checkpoint and raise
+            :class:`~repro.sim.checkpoint.SimulationInterrupted`.
+            Requires ``checkpoint`` to be configured.
+        """
         tl = self.timeline
         dt = tl.slot_seconds
         obs = self.observer
         active = obs.enabled
-        # Attach the observer to the other emitters for this run.
-        self.scheduler.observer = obs
-        self.node.pmu.observer = obs
-        self.scheduler.bind(tl, self.graph)
+        inj = self.fault_injector
+        if stop_after_periods is not None:
+            if stop_after_periods < 1:
+                raise ValueError(
+                    f"stop_after_periods must be >= 1, got "
+                    f"{stop_after_periods}"
+                )
+            if self.checkpoint is None:
+                raise ValueError(
+                    "stop_after_periods requires a checkpoint config "
+                    "(there would be nothing to resume from)"
+                )
+        fingerprint = run_fingerprint(
+            tl, self.graph, self.trace, self.scheduler.name
+        )
 
         period_records: List[PeriodRecord] = []
         slot_arrays: Optional[SlotArrays] = None
@@ -176,12 +231,54 @@ class SimulationEngine:
         periods_done = 0
         last_period_energy: Optional[float] = None
         last_period_powers: Optional[np.ndarray] = None
+        start_flat = 0
+        resumed = False
 
-        for day, period in tl.iter_periods():
+        if resume_from is not None:
+            payload = load_checkpoint(resume_from)
+            self._verify_payload(payload, fingerprint)
+            self._restore_node(payload)
+            self.scheduler = pickle.loads(payload["scheduler"])
+            period_records = list(payload["period_records"])
+            slot_arrays = payload["slot_arrays"]
+            dmr_sum = payload["dmr_sum"]
+            periods_done = payload["periods_done"]
+            last_period_energy = payload["last_period_energy"]
+            last_period_powers = payload["last_period_powers"]
+            start_flat = payload["next_flat_period"]
+            resumed = True
+
+        # Attach the observer to the other emitters for this run.
+        self.scheduler.observer = obs
+        self.node.pmu.observer = obs
+        if inj is not None:
+            inj.observer = obs
+            inj.attach(self.node)
+        if not resumed:
+            # A resumed scheduler keeps its bound state (bind() would
+            # reset what it learned before the checkpoint).
+            self.scheduler.bind(tl, self.graph)
+
+        for flat_p in range(start_flat, tl.total_periods):
+            day, period = tl.unflatten_period(flat_p)
+            period_start_slot = flat_p * tl.slots_per_period
             runtime = PeriodRuntime(self.graph, tl)
             accumulated = dmr_sum / periods_done if periods_done else 0.0
             if active:
                 obs.set_time(day, period)
+            fault_flags = None
+            powers_for_view = last_period_powers
+            if inj is not None:
+                inj.sync(self.node, period_start_slot)
+                fault_flags = inj.period_flags(flat_p)
+                if (
+                    fault_flags is not None
+                    and fault_flags.corrupted_features
+                    and last_period_powers is not None
+                ):
+                    powers_for_view = inj.corrupt_powers(
+                        flat_p, last_period_powers
+                    )
             start_view = PeriodStartView(
                 timeline=tl,
                 graph=self.graph,
@@ -190,9 +287,10 @@ class SimulationEngine:
                 bank=self._bank_view(),
                 accumulated_dmr=accumulated,
                 last_period_energy=last_period_energy,
-                last_period_powers=last_period_powers,
+                last_period_powers=powers_for_view,
                 request_capacitor=self.node.pmu.request_capacitor,
                 force_capacitor=self.node.pmu.force_capacitor,
+                faults=fault_flags,
             )
             with obs.span("coarse_hook") as coarse_span:
                 self.scheduler.on_period_start(start_view)
@@ -218,6 +316,10 @@ class SimulationEngine:
                 if active and newly_missed:
                     obs.deadline_miss(newly_missed)
                 solar_power = self.trace.slot_power(SlotIndex(day, period, slot))
+                if inj is not None:
+                    flat_slot = period_start_slot + slot
+                    inj.sync(self.node, flat_slot)
+                    solar_power = inj.transform_solar(flat_slot, solar_power)
                 period_powers[slot] = solar_power
                 ready = runtime.ready_tasks(slot)
                 decision = self.scheduler.on_slot(
@@ -371,6 +473,36 @@ class SimulationEngine:
                 )
             )
 
+            done = flat_p + 1
+            stopping = (
+                stop_after_periods is not None and done >= stop_after_periods
+            )
+            if (
+                self.checkpoint is not None
+                and done < tl.total_periods
+                and (done % self.checkpoint.every_periods == 0 or stopping)
+            ):
+                path = self._write_checkpoint(
+                    done,
+                    fingerprint,
+                    period_records,
+                    slot_arrays,
+                    dmr_sum,
+                    periods_done,
+                    last_period_energy,
+                    last_period_powers,
+                )
+                if active:
+                    obs.checkpoint_saved(str(path), done)
+                if stopping:
+                    raise SimulationInterrupted(path, done)
+            elif stopping:
+                # stop_after_periods >= total_periods: fall through and
+                # let the run complete normally.
+                pass
+
+        if inj is not None:
+            inj.finish(self.node)
         result = SimulationResult(
             timeline=tl,
             scheduler_name=self.scheduler.name,
@@ -381,6 +513,94 @@ class SimulationEngine:
             obs.finish(result.summary(), scheduler=result.scheduler_name)
         return result
 
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _verify_payload(self, payload: dict, fingerprint: str) -> None:
+        if payload["fingerprint"] != fingerprint:
+            raise CheckpointError(
+                "checkpoint does not match this run configuration "
+                "(different timeline, task set, trace or scheduler)"
+            )
+        if payload["record_slots"] != self.record_slots:
+            raise CheckpointError(
+                f"checkpoint was written with record_slots="
+                f"{payload['record_slots']}, this engine has "
+                f"record_slots={self.record_slots}"
+            )
+
+    def _restore_node(self, payload: dict) -> None:
+        bank = self.node.bank
+        voltages = payload["bank_voltages"]
+        if len(voltages) != len(bank):
+            raise CheckpointError(
+                f"checkpoint has {len(voltages)} capacitors, the node "
+                f"has {len(bank)}"
+            )
+        for state, voltage in zip(bank.states, voltages):
+            state.voltage = float(voltage)
+        bank.select(payload["bank_active_index"])
+        bank.switch_count = payload["bank_switch_count"]
+        nvp_states = payload["nvp_states"]
+        if len(nvp_states) != len(self.node.nvps):
+            raise CheckpointError(
+                f"checkpoint has {len(nvp_states)} NVPs, the node has "
+                f"{len(self.node.nvps)}"
+            )
+        for nvp, (powered, brownouts) in zip(self.node.nvps, nvp_states):
+            nvp.powered = bool(powered)
+            nvp.brownout_count = int(brownouts)
+
+    def _write_checkpoint(
+        self,
+        next_flat_period: int,
+        fingerprint: str,
+        period_records: List[PeriodRecord],
+        slot_arrays: Optional[SlotArrays],
+        dmr_sum: float,
+        periods_done: int,
+        last_period_energy: Optional[float],
+        last_period_powers: Optional[np.ndarray],
+    ) -> Path:
+        bank = self.node.bank
+        # The scheduler is pickled without its observer (sinks hold
+        # file handles); the engine re-attaches one at resume.
+        had_observer = "observer" in self.scheduler.__dict__
+        previous = self.scheduler.__dict__.pop("observer", None)
+        try:
+            scheduler_blob = pickle.dumps(
+                self.scheduler, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        finally:
+            if had_observer:
+                self.scheduler.observer = previous
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "record_slots": self.record_slots,
+            "next_flat_period": next_flat_period,
+            "dmr_sum": dmr_sum,
+            "periods_done": periods_done,
+            "last_period_energy": last_period_energy,
+            "last_period_powers": last_period_powers,
+            "period_records": list(period_records),
+            "slot_arrays": slot_arrays,
+            "bank_voltages": [s.voltage for s in bank.states],
+            "bank_active_index": bank.active_index,
+            "bank_switch_count": bank.switch_count,
+            "nvp_states": [
+                (nvp.powered, nvp.brownout_count) for nvp in self.node.nvps
+            ],
+            "scheduler": scheduler_blob,
+        }
+        path = save_checkpoint(
+            checkpoint_path(self.checkpoint.path, next_flat_period), payload
+        )
+        prune_checkpoints(
+            self.checkpoint.path, self.checkpoint.keep, protect=path
+        )
+        return path
+
 
 def simulate(
     node: SensorNode,
@@ -390,6 +610,10 @@ def simulate(
     strict: bool = True,
     record_slots: bool = False,
     observer: Optional[Observer] = None,
+    fault_injector=None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume_from: Optional[Union[str, Path]] = None,
+    stop_after_periods: Optional[int] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     return SimulationEngine(
@@ -400,4 +624,6 @@ def simulate(
         strict=strict,
         record_slots=record_slots,
         observer=observer,
-    ).run()
+        fault_injector=fault_injector,
+        checkpoint=checkpoint,
+    ).run(resume_from=resume_from, stop_after_periods=stop_after_periods)

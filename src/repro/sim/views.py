@@ -16,7 +16,29 @@ import numpy as np
 from ..tasks.graph import TaskGraph
 from ..timeline import Timeline
 
-__all__ = ["PeriodStartView", "SlotView", "PeriodEndView", "BankView"]
+__all__ = [
+    "PeriodStartView",
+    "SlotView",
+    "PeriodEndView",
+    "BankView",
+    "PeriodFaultFlags",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodFaultFlags:
+    """Runtime faults injected into the coarse stage this period.
+
+    ``corrupted_features`` records that ``last_period_powers`` was
+    already tampered with by the injector (informational — the
+    corruption happened upstream); ``fail_inference`` instructs
+    inference-based coarse policies to fail this period, exercising
+    their degradation path.  Schedulers without an inference stage
+    ignore these flags.
+    """
+
+    corrupted_features: bool = False
+    fail_inference: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +76,7 @@ class PeriodStartView:
     last_period_powers: Optional[np.ndarray]
     request_capacitor: Callable[[int], bool]
     force_capacitor: Callable[[int], None]
+    faults: Optional[PeriodFaultFlags] = None
 
 
 @dataclasses.dataclass(frozen=True)

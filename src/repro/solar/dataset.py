@@ -69,6 +69,7 @@ def read_midc_csv(
     timeline: Timeline,
     panel: Optional[SolarPanel] = None,
     ghi_column: str = GHI_COLUMN,
+    on_invalid: str = "repair",
 ) -> SolarTrace:
     """Load a MIDC CSV into a slot-resampled power trace.
 
@@ -76,11 +77,24 @@ def read_midc_csv(
     readings are averaged per slot (using the slot's wall-clock span),
     empty slots fall back to 0 W/m², and irradiance is converted to
     electrical power through ``panel``.
+
+    ``on_invalid`` controls what happens to readings a real station
+    export gets wrong — NaN/non-finite or negative irradiance (MIDC
+    uses ``-9999``-style sentinels at night) and duplicated
+    timestamps.  ``"repair"`` (the default) zeroes invalid readings
+    and averages duplicates; ``"reject"`` raises
+    :class:`MIDCFormatError` naming the offending line, for pipelines
+    that must not silently accept dirty data.
     """
+    if on_invalid not in ("repair", "reject"):
+        raise ValueError(
+            f"on_invalid must be 'repair' or 'reject', got {on_invalid!r}"
+        )
     path = Path(path)
     panel = panel or SolarPanel()
 
-    by_day: Dict[_dt.date, List[Tuple[float, float]]] = {}
+    # date -> seconds-of-day -> [sum, count] (count > 1 == duplicate)
+    by_day: Dict[_dt.date, Dict[float, List[float]]] = {}
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None:
@@ -92,13 +106,33 @@ def read_midc_csv(
             raise MIDCFormatError(
                 f"{path} is missing MIDC columns: {sorted(missing)}"
             )
-        for row in reader:
+        for lineno, row in enumerate(reader, start=2):
             date, seconds = _parse_time(row[DATE_COLUMN], row[TIME_COLUMN])
+            raw = row[ghi_column]
             try:
-                value = float(row[ghi_column])
+                value = float(raw)
             except (TypeError, ValueError):
+                value = float("nan")
+            if not np.isfinite(value) or value < 0.0:
+                if on_invalid == "reject":
+                    raise MIDCFormatError(
+                        f"{path}:{lineno}: invalid irradiance {raw!r} "
+                        f"in column {ghi_column!r}"
+                    )
                 value = 0.0
-            by_day.setdefault(date, []).append((seconds, max(value, 0.0)))
+            day = by_day.setdefault(date, {})
+            if seconds in day:
+                if on_invalid == "reject":
+                    raise MIDCFormatError(
+                        f"{path}:{lineno}: duplicate timestamp "
+                        f"{row[DATE_COLUMN].strip()} "
+                        f"{row[TIME_COLUMN].strip()}"
+                    )
+                cell = day[seconds]
+                cell[0] += value
+                cell[1] += 1.0
+            else:
+                day[seconds] = [value, 1.0]
 
     days = sorted(by_day)
     if len(days) < timeline.num_days:
@@ -112,9 +146,9 @@ def read_midc_csv(
          timeline.slots_per_period)
     )
     for day_index in range(timeline.num_days):
-        samples = sorted(by_day[days[day_index]])
-        times = np.array([s for s, _ in samples])
-        values = np.array([v for _, v in samples])
+        cells = by_day[days[day_index]]
+        times = np.array(sorted(cells))
+        values = np.array([cells[t][0] / cells[t][1] for t in times])
         for period in range(timeline.periods_per_day):
             for slot in range(timeline.slots_per_period):
                 start = timeline.slot_time_of_day(

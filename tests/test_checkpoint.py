@@ -1,0 +1,179 @@
+"""Checkpoint/resume: bit-identity, mismatch rejection, file handling."""
+
+import pickle
+
+import pytest
+
+from repro import quick_node, simulate, DEFAULT_BANK_FARADS
+from repro.core.online import HeuristicPolicy, ProposedScheduler
+from repro.energy import SuperCapacitor
+from repro.reliability import FaultInjector, runtime_scenario
+from repro.schedulers import GreedyEDFScheduler
+from repro.sim import (
+    CheckpointConfig,
+    CheckpointError,
+    SimulationInterrupted,
+    latest_checkpoint,
+    result_fingerprint,
+    run_fingerprint,
+)
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_path,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
+from repro.solar import FOUR_DAYS, archetype_trace
+from repro.tasks import ecg, wam
+from repro.timeline import Timeline
+
+
+def tiny_env(seed=3):
+    graph = ecg()
+    tl = Timeline(
+        num_days=1, periods_per_day=8, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+    trace = archetype_trace(tl, [FOUR_DAYS[0]], seed=seed)
+    return graph, tl, trace
+
+
+def proposed_scheduler(graph, tl):
+    caps = tuple(SuperCapacitor(capacitance=c) for c in DEFAULT_BANK_FARADS)
+    period_s = tl.slots_per_period * tl.slot_seconds
+    return ProposedScheduler(HeuristicPolicy(graph, caps, period_s))
+
+
+class TestCheckpointConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig("x", every_periods=0)
+        with pytest.raises(ValueError):
+            CheckpointConfig("x", keep=-1)
+
+    def test_stop_requires_checkpoint(self):
+        graph, tl, trace = tiny_env()
+        with pytest.raises(ValueError, match="checkpoint"):
+            simulate(quick_node(graph), graph, trace,
+                     GreedyEDFScheduler(), strict=False,
+                     stop_after_periods=2)
+
+
+class TestResumeBitIdentity:
+    def _roundtrip(self, make_scheduler, tmp_path, injector_factory=None):
+        graph, tl, trace = tiny_env()
+        inj = injector_factory or (lambda: None)
+        full = simulate(
+            quick_node(graph), graph, trace, make_scheduler(graph, tl),
+            strict=False, record_slots=True, fault_injector=inj(),
+            checkpoint=CheckpointConfig(tmp_path / "ref", every_periods=2),
+        )
+        ck = CheckpointConfig(tmp_path / "crash", every_periods=2)
+        with pytest.raises(SimulationInterrupted) as stop:
+            simulate(
+                quick_node(graph), graph, trace, make_scheduler(graph, tl),
+                strict=False, checkpoint=ck, record_slots=True,
+                fault_injector=inj(), stop_after_periods=3,
+            )
+        assert stop.value.periods_done == 3
+        assert stop.value.checkpoint_path.is_file()
+        resumed = simulate(
+            quick_node(graph), graph, trace, make_scheduler(graph, tl),
+            strict=False, checkpoint=ck, record_slots=True,
+            fault_injector=inj(), resume_from=latest_checkpoint(ck.path),
+        )
+        assert result_fingerprint(resumed) == result_fingerprint(full)
+
+    def test_greedy_resume_is_bit_identical(self, tmp_path):
+        self._roundtrip(lambda g, tl: GreedyEDFScheduler(), tmp_path)
+
+    def test_stateful_scheduler_resume_is_bit_identical(self, tmp_path):
+        self._roundtrip(proposed_scheduler, tmp_path)
+
+    def test_resume_under_chaos_is_bit_identical(self, tmp_path):
+        _, tl, _ = tiny_env()
+        plan = runtime_scenario("chaos", tl, seed=11)
+        self._roundtrip(
+            proposed_scheduler, tmp_path,
+            injector_factory=lambda: FaultInjector(plan, tl),
+        )
+
+
+class TestMismatchRejection:
+    def test_wrong_benchmark_rejected(self, tmp_path):
+        graph, tl, trace = tiny_env()
+        ck = CheckpointConfig(tmp_path, every_periods=2)
+        with pytest.raises(SimulationInterrupted):
+            simulate(quick_node(graph), graph, trace,
+                     GreedyEDFScheduler(), strict=False, checkpoint=ck,
+                     stop_after_periods=2)
+        other = wam()
+        with pytest.raises(CheckpointError, match="does not match"):
+            simulate(quick_node(other), other, trace,
+                     GreedyEDFScheduler(), strict=False, checkpoint=ck,
+                     resume_from=latest_checkpoint(tmp_path))
+
+    def test_wrong_trace_rejected(self, tmp_path):
+        graph, tl, trace = tiny_env()
+        ck = CheckpointConfig(tmp_path, every_periods=2)
+        with pytest.raises(SimulationInterrupted):
+            simulate(quick_node(graph), graph, trace,
+                     GreedyEDFScheduler(), strict=False, checkpoint=ck,
+                     stop_after_periods=2)
+        other_trace = archetype_trace(tl, [FOUR_DAYS[3]], seed=8)
+        with pytest.raises(CheckpointError, match="does not match"):
+            simulate(quick_node(graph), graph, other_trace,
+                     GreedyEDFScheduler(), strict=False, checkpoint=ck,
+                     resume_from=latest_checkpoint(tmp_path))
+
+    def test_run_fingerprint_sensitivity(self):
+        graph, tl, trace = tiny_env()
+        base = run_fingerprint(tl, graph, trace, "asap-edf")
+        assert base == run_fingerprint(tl, graph, trace, "asap-edf")
+        assert base != run_fingerprint(tl, graph, trace, "intra-task")
+        assert base != run_fingerprint(tl, wam(), trace, "asap-edf")
+
+
+class TestCheckpointFiles:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_load_garbage_file(self, tmp_path):
+        bad = tmp_path / "period-000001.ckpt"
+        bad.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(bad)
+
+    def test_load_wrong_version(self, tmp_path):
+        path = tmp_path / "period-000001.ckpt"
+        with path.open("wb") as fh:
+            pickle.dump({"version": CHECKPOINT_VERSION + 1}, fh)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_latest_and_prune(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "missing") is None
+        for flat in (2, 10, 6):
+            save_checkpoint(
+                checkpoint_path(tmp_path, flat),
+                {"version": CHECKPOINT_VERSION},
+            )
+        assert latest_checkpoint(tmp_path) == checkpoint_path(tmp_path, 10)
+        prune_checkpoints(tmp_path, keep=1)
+        remaining = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+        assert remaining == ["period-000010.ckpt"]
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        save_checkpoint(
+            checkpoint_path(tmp_path, 1), {"version": CHECKPOINT_VERSION}
+        )
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_old_checkpoints_pruned_during_run(self, tmp_path):
+        graph, tl, trace = tiny_env()
+        ck = CheckpointConfig(tmp_path, every_periods=1, keep=2)
+        simulate(quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                 strict=False, checkpoint=ck)
+        assert len(list(tmp_path.glob("*.ckpt"))) <= 2

@@ -81,3 +81,74 @@ class TestExportCommand:
         assert out_file.exists()
         header = out_file.read_text().splitlines()[0]
         assert "Global Horizontal" in header
+
+
+def _fingerprint(text):
+    return [
+        line.split()[-1]
+        for line in text.splitlines()
+        if line.startswith("fingerprint:")
+    ][0]
+
+
+class TestRobustCli:
+    def test_fingerprint_line_printed(self):
+        code, text = run_cli(
+            "simulate", "--benchmark", "SHM", "--scheduler", "asap",
+            "--days", "1", "--seed", "3",
+        )
+        assert code == 0
+        assert len(_fingerprint(text)) == 64
+
+    def test_fault_scenario_runs_and_reports(self):
+        code, text = run_cli(
+            "simulate", "--benchmark", "SHM", "--scheduler", "asap",
+            "--days", "1", "--seed", "3",
+            "--fault-scenario", "chaos", "--fault-seed", "5",
+        )
+        assert code == 0
+        assert "fault activations:" in text
+
+    def test_unknown_fault_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--fault-scenario", "gremlins"]
+            )
+
+    def test_max_slots_guard_exit_code_2(self, capsys):
+        code, _ = run_cli("simulate", "--days", "4", "--max-slots", "10")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one-line error
+
+    def test_resume_without_dir_exit_code_2(self, capsys):
+        code, _ = run_cli("simulate", "--resume")
+        assert code == 2
+        assert "checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_empty_dir_exit_code_3(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "simulate", "--resume", "--checkpoint-dir", str(tmp_path)
+        )
+        assert code == 3
+        assert "checkpoint error:" in capsys.readouterr().err
+
+    def test_crash_resume_reproduces_fingerprint(self, tmp_path):
+        base = (
+            "simulate", "--benchmark", "SHM", "--scheduler", "asap",
+            "--days", "1", "--seed", "3",
+        )
+        code, full_text = run_cli(*base)
+        assert code == 0
+        ckdir = str(tmp_path / "ck")
+        code, text = run_cli(
+            *base, "--checkpoint-dir", ckdir, "--stop-after-periods", "40",
+        )
+        assert code == 0
+        assert "stopped after 40 period(s)" in text
+        code, resumed_text = run_cli(
+            *base, "--checkpoint-dir", ckdir, "--resume",
+        )
+        assert code == 0
+        assert _fingerprint(resumed_text) == _fingerprint(full_text)

@@ -43,3 +43,88 @@ class TestBrownoutAccounting:
         simulate(node, graph, trace, GreedyEDFScheduler())
         assert node.nvps[0].brownout_count >= 1
         assert node.nvps[0].powered  # restored once solar returned
+
+
+# ----------------------------------------------------------------------
+# Property tests: backup/restore conservation under brownout storms.
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.node.nvp import NVP
+from repro.reliability import FaultInjector, FaultPlan
+
+
+class TestNVPConservationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        commands=st.lists(st.booleans(), min_size=1, max_size=200),
+        backup_e=st.floats(0.0, 1e-4),
+        restore_e=st.floats(0.0, 1e-4),
+    )
+    def test_cycle_energy_conserved(self, commands, backup_e, restore_e):
+        """Whatever the power waveform, energy spent on nonvolatility
+        is exactly (#backups)*backup + (#restores)*restore, repeated
+        commands are free, and restores never outnumber backups."""
+        nvp = NVP(0, backup_energy=backup_e, restore_energy=restore_e)
+        spent = 0.0
+        downs = ups = 0
+        powered = True
+        for want_on in commands:
+            if want_on:
+                e = nvp.power_up()
+                if not powered:
+                    ups += 1
+                    assert e == restore_e
+                else:
+                    assert e == 0.0
+            else:
+                e = nvp.power_fail()
+                if powered:
+                    downs += 1
+                    assert e == backup_e
+                else:
+                    assert e == 0.0
+            spent += e
+            powered = want_on
+        assert nvp.brownout_count == downs
+        assert spent == pytest.approx(
+            downs * backup_e + ups * restore_e
+        )
+        assert nvp.powered == commands[-1]
+        assert ups <= downs  # started powered
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 1000), storms=st.integers(1, 12))
+    def test_engine_invariants_survive_brownout_storms(self, seed, storms):
+        """Random seeded dropout storms: the accounting invariants the
+        clean engine guarantees must hold under fault injection too."""
+        graph = TaskGraph([Task("a", 300.0, 600.0, 0.05, nvp=0)])
+        tl = Timeline(1, 2, 20, 30.0)
+        trace = SolarTrace(tl, np.full((1, 2, 20), 0.08))
+        node = SensorNode([SuperCapacitor(capacitance=0.5)], num_nvps=1)
+        plan = FaultPlan.generate(
+            tl, seed=seed,
+            dropouts_per_day=float(storms),
+            dropout_slots=(1, 6),
+            dropout_severity=(0.8, 1.0),
+        )
+        result = simulate(
+            node, graph, trace, GreedyEDFScheduler(), strict=False,
+            fault_injector=FaultInjector(plan, tl),
+        )
+        assert 0.0 <= result.dmr <= 1.0
+        # Load is bounded by the (post-fault) harvest.
+        assert result.total_load_energy <= result.total_solar_energy + 1e-6
+        # A backup happens inside a brownout slot: the transition count
+        # can never exceed the slot count.
+        assert node.nvps[0].brownout_count <= result.total_brownout_slots
+        for p in result.periods:
+            assert p.load_energy == pytest.approx(
+                p.direct_energy + p.storage_energy, abs=1e-9
+            )
+            assert p.leakage_energy >= -1e-12

@@ -167,3 +167,51 @@ class TestRobustnessReport:
             assert blackout.lost_energy_fraction == pytest.approx(1.0)
             dusty = by_key[(name, "dusty")]
             assert dusty.dmr >= clean.dmr - 1e-9
+
+
+class TestScenarioDeterminism:
+    def test_degrade_is_deterministic(self):
+        """Same scenario, same trace: bit-identical degraded output."""
+        trace = flat_trace()
+        scenario = FaultScenario(
+            "storm",
+            [IntermittentShading(episodes_per_day=4.0),
+             SupplyGlitches(probability=0.1)],
+            seed=21,
+        )
+        a = scenario.degrade(trace)
+        b = scenario.degrade(trace)
+        assert np.array_equal(a.power, b.power)
+
+    def test_different_seed_differs(self):
+        trace = flat_trace()
+        faults = [IntermittentShading(episodes_per_day=4.0)]
+        a = FaultScenario("s", faults, seed=1).degrade(trace)
+        b = FaultScenario("s", faults, seed=2).degrade(trace)
+        assert not np.array_equal(a.power, b.power)
+
+
+class TestHarnessObserver:
+    def test_report_emits_fault_scenario_events(self):
+        from repro.obs import Observer, RingBufferSink
+
+        graph = shm()
+        trace = archetype_trace(tl_of(1), [FOUR_DAYS[0]], seed=4)
+        ring = RingBufferSink()
+        robustness_report(
+            graph,
+            trace,
+            node_factory=lambda: quick_node(graph),
+            scheduler_factories={"greedy": GreedyEDFScheduler},
+            scenarios=[
+                FaultScenario(
+                    "dusty", [PanelDegradation(rate_per_day=0.2)], seed=1
+                ),
+            ],
+            observer=Observer(sinks=[ring]),
+        )
+        events = ring.of_kind("fault_scenario")
+        assert len(events) == 1
+        assert events[0]["scenario"] == "dusty"
+        assert events[0]["faults"] == ["PanelDegradation"]
+        assert 0.0 <= events[0]["lost_energy_fraction"] <= 1.0

@@ -1,0 +1,251 @@
+"""Runtime fault injection: plan determinism, engine hooks, soak matrix."""
+
+import numpy as np
+import pytest
+
+from repro import quick_node, simulate
+from repro.obs import Observer, RingBufferSink
+from repro.reliability import (
+    FAULT_KINDS,
+    RUNTIME_SCENARIOS,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    runtime_scenario,
+)
+from repro.schedulers import GreedyEDFScheduler
+from repro.solar import FOUR_DAYS, SolarTrace, archetype_trace
+from repro.tasks import ecg
+from repro.timeline import Timeline
+
+
+def tiny_timeline():
+    return Timeline(
+        num_days=1, periods_per_day=6, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+
+
+def tiny_env(seed=3):
+    graph = ecg()
+    tl = tiny_timeline()
+    trace = archetype_trace(tl, [FOUR_DAYS[0]], seed=seed)
+    return graph, tl, trace
+
+
+class TestFaultWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow("not-a-kind", 0, 1)
+        with pytest.raises(ValueError):
+            FaultWindow("supply_dropout", -1, 1)
+        with pytest.raises(ValueError):
+            FaultWindow("supply_dropout", 0, 0)
+        with pytest.raises(ValueError):
+            FaultWindow("supply_dropout", 0, 1, severity=1.5)
+        with pytest.raises(ValueError):
+            FaultWindow("leak_spike", 0, 1, target=-2)
+
+    def test_covers(self):
+        w = FaultWindow("supply_dropout", 5, 3)
+        assert not w.covers(4)
+        assert w.covers(5)
+        assert w.covers(7)
+        assert not w.covers(8)
+        assert w.stop == 8
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        tl = tiny_timeline()
+        a = FaultPlan.generate(tl, seed=42, dropouts_per_day=20.0,
+                               leak_spikes_per_day=10.0)
+        b = FaultPlan.generate(tl, seed=42, dropouts_per_day=20.0,
+                               leak_spikes_per_day=10.0)
+        assert a.windows == b.windows
+
+    def test_different_seeds_differ(self):
+        tl = tiny_timeline()
+        a = FaultPlan.generate(tl, seed=1, dropouts_per_day=20.0)
+        b = FaultPlan.generate(tl, seed=2, dropouts_per_day=20.0)
+        assert a.windows != b.windows
+
+    def test_windows_sorted(self):
+        early = FaultWindow("supply_dropout", 1, 2)
+        late = FaultWindow("leak_spike", 9, 2)
+        plan = FaultPlan(windows=(late, early))
+        assert plan.windows == (early, late)
+        assert plan.of_kind("leak_spike") == (late,)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown runtime scenario"):
+            runtime_scenario("no-such-chaos", tiny_timeline())
+
+    def test_every_scenario_produces_windows(self):
+        tl = tiny_timeline()
+        for name in RUNTIME_SCENARIOS:
+            plan = runtime_scenario(name, tl, seed=7)
+            assert len(plan) > 0, name
+            for w in plan.windows:
+                assert w.kind in FAULT_KINDS
+
+
+class TestInjectorEffects:
+    def test_total_dropout_zeroes_supply(self):
+        graph, tl, trace = tiny_env()
+        plan = FaultPlan(
+            windows=(FaultWindow("supply_dropout", 0, tl.total_slots,
+                                 severity=1.0),)
+        )
+        inj = FaultInjector(plan, tl)
+        result = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, fault_injector=inj, record_slots=True,
+        )
+        assert np.all(result.slots.solar_power == 0.0)
+        # The recorded solar energy is post-fault, not the trace's.
+        assert result.total_solar_energy == 0.0
+
+    def test_partial_dropout_scales_supply(self):
+        graph, tl, trace = tiny_env()
+        clean = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False,
+        )
+        plan = FaultPlan(
+            windows=(FaultWindow("supply_dropout", 0, tl.total_slots,
+                                 severity=0.5),)
+        )
+        faulty = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, fault_injector=FaultInjector(plan, tl),
+        )
+        assert faulty.total_solar_energy == pytest.approx(
+            0.5 * clean.total_solar_energy
+        )
+
+    def test_leak_spike_increases_leakage(self):
+        graph, tl, trace = tiny_env()
+        clean = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False,
+        )
+        plan = FaultPlan(
+            windows=(FaultWindow("leak_spike", 0, tl.total_slots,
+                                 severity=1.0),)
+        )
+        faulty = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, fault_injector=FaultInjector(plan, tl),
+        )
+        assert faulty.total_leakage_energy > clean.total_leakage_energy
+
+    def test_regulator_stuck_locks_pmu(self):
+        graph, tl, trace = tiny_env()
+        node = quick_node(graph)
+        plan = FaultPlan(
+            windows=(FaultWindow("regulator_stuck", 5, 10),)
+        )
+        inj = FaultInjector(plan, tl)
+        inj.attach(node)
+        inj.sync(node, 5)
+        assert node.pmu.switch_locked
+        prev = node.bank.active_index
+        other = (prev + 1) % len(node.bank)
+        # Stuck mux: every request for a different capacitor is refused.
+        assert node.pmu.request_capacitor(other) is False
+        assert node.bank.active_index == prev
+        assert node.pmu.request_capacitor(prev) is True
+        inj.sync(node, 15)
+        assert not node.pmu.switch_locked
+
+    def test_devices_restored_after_run(self):
+        graph, tl, trace = tiny_env()
+        node = quick_node(graph)
+        pristine = tuple(s.capacitor for s in node.bank.states)
+        plan = FaultPlan(
+            windows=(
+                FaultWindow("leak_spike", 0, tl.total_slots, severity=1.0),
+                FaultWindow("esr_spike", 0, tl.total_slots, severity=0.9),
+                FaultWindow("regulator_stuck", 0, tl.total_slots),
+            )
+        )
+        simulate(node, graph, trace, GreedyEDFScheduler(), strict=False,
+                 fault_injector=FaultInjector(plan, tl))
+        assert tuple(s.capacitor for s in node.bank.states) == pristine
+        assert node.pmu.switch_locked is False
+
+    def test_events_and_activation_counts(self):
+        graph, tl, trace = tiny_env()
+        ring = RingBufferSink()
+        plan = FaultPlan(
+            windows=(
+                FaultWindow("supply_dropout", 10, 5, severity=1.0),
+                FaultWindow("leak_spike", 30, 10, severity=0.5),
+            )
+        )
+        inj = FaultInjector(plan, tl)
+        simulate(quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                 strict=False, fault_injector=inj,
+                 observer=Observer(sinks=[ring]))
+        events = ring.of_kind("fault_injected")
+        starts = [e for e in events if e["phase"] == "start"]
+        ends = [e for e in events if e["phase"] == "end"]
+        assert {e["fault"] for e in starts} == {
+            "supply_dropout", "leak_spike"
+        }
+        assert len(starts) == len(ends) == 2
+        assert inj.activation_counts["supply_dropout"] == 1
+        assert inj.activation_counts["leak_spike"] == 1
+        assert inj.total_activations == 2
+
+    def test_component_target_validated_against_bank(self):
+        graph, tl, trace = tiny_env()
+        plan = FaultPlan(
+            windows=(FaultWindow("leak_spike", 0, 5, target=99),)
+        )
+        with pytest.raises(ValueError, match="targets capacitor 99"):
+            simulate(quick_node(graph), graph, trace,
+                     GreedyEDFScheduler(), strict=False,
+                     fault_injector=FaultInjector(plan, tl))
+
+    def test_corrupt_powers_is_call_order_independent(self):
+        tl = tiny_timeline()
+        plan = FaultPlan(windows=(), seed=5)
+        powers = np.linspace(0.0, 0.2, tl.slots_per_period)
+        a = FaultInjector(plan, tl).corrupt_powers(3, powers)
+        inj = FaultInjector(plan, tl)
+        inj.corrupt_powers(0, powers)  # unrelated earlier call
+        b = inj.corrupt_powers(3, powers)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSoakMatrix:
+    """Acceptance: every scenario x >= 5 seeds completes cleanly."""
+
+    @pytest.mark.parametrize("scenario", sorted(RUNTIME_SCENARIOS))
+    def test_scenario_soak(self, scenario):
+        graph, tl, trace = tiny_env()
+        for seed in range(5):
+            plan = runtime_scenario(scenario, tl, seed=seed)
+            inj = FaultInjector(plan, tl)
+            result = simulate(
+                quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                strict=False, fault_injector=inj,
+            )
+            assert 0.0 <= result.dmr <= 1.0
+            assert np.isfinite(result.total_load_energy)
+
+    def test_same_seed_same_result(self):
+        graph, tl, trace = tiny_env()
+        fingerprints = []
+        for _ in range(2):
+            plan = runtime_scenario("chaos", tl, seed=9)
+            result = simulate(
+                quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                strict=False, fault_injector=FaultInjector(plan, tl),
+            )
+            from repro.sim import result_fingerprint
+
+            fingerprints.append(result_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]

@@ -117,3 +117,77 @@ class TestReadValidation:
         trace = read_midc_csv(path, tl_of(days=1))
         panel = SolarPanel()
         assert np.allclose(trace.power, panel.power(500.0), atol=1e-6)
+
+
+def _csv(rows):
+    return (
+        "DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2]\n"
+        + "\n".join(rows)
+        + "\n"
+    )
+
+
+def _full_day(value="100", date="01/01/2014", step=5):
+    return [
+        f"{date},{m // 60:02d}:{m % 60:02d},{value}"
+        for m in range(0, 24 * 60, step)
+    ]
+
+
+class TestDirtyDataHandling:
+    """NaN / negative irradiance and duplicate timestamps."""
+
+    def test_nan_repaired_to_zero(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text(_csv(_full_day("nan")))
+        trace = read_midc_csv(path, tl_of(days=1))
+        assert np.all(np.isfinite(trace.power))
+        assert trace.total_energy() == 0.0
+
+    def test_nan_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        rows = _full_day("100")
+        rows[3] = "01/01/2014,00:15,nan"
+        path.write_text(_csv(rows))
+        with pytest.raises(MIDCFormatError, match=r"nan\.csv:5"):
+            read_midc_csv(path, tl_of(days=1), on_invalid="reject")
+
+    def test_negative_rejected_in_strict_mode(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        rows = _full_day("100")
+        rows[0] = "01/01/2014,00:00,-9999"
+        path.write_text(_csv(rows))
+        with pytest.raises(MIDCFormatError, match="invalid irradiance"):
+            read_midc_csv(path, tl_of(days=1), on_invalid="reject")
+
+    def test_duplicate_timestamps_averaged(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        rows = _full_day("100")
+        # Duplicate every row with a different reading: mean is 150.
+        rows += _full_day("200")
+        path.write_text(_csv(rows))
+        trace = read_midc_csv(path, tl_of(days=1))
+        clean = tmp_path / "clean.csv"
+        clean.write_text(_csv(_full_day("150")))
+        expected = read_midc_csv(clean, tl_of(days=1))
+        assert np.allclose(trace.power, expected.power)
+
+    def test_duplicate_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        rows = _full_day("100")
+        rows.append("01/01/2014,00:00,42")
+        path.write_text(_csv(rows))
+        with pytest.raises(MIDCFormatError, match="duplicate timestamp"):
+            read_midc_csv(path, tl_of(days=1), on_invalid="reject")
+
+    def test_clean_file_passes_strict_mode(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text(_csv(_full_day("100")))
+        trace = read_midc_csv(path, tl_of(days=1), on_invalid="reject")
+        assert trace.total_energy() > 0.0
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text(_csv(_full_day("100")))
+        with pytest.raises(ValueError, match="on_invalid"):
+            read_midc_csv(path, tl_of(days=1), on_invalid="ignore")
