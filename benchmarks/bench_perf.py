@@ -1,0 +1,41 @@
+"""Perf-regression harness: slot-loop throughput, training, parallelism.
+
+Runs the same workloads as ``repro bench`` under pytest-benchmark and
+writes ``benchmarks/results/BENCH_perf.json``.  The committed
+``BENCH_perf.json`` at the repo root is the PR-over-PR baseline; CI
+runs ``repro bench --quick --baseline BENCH_perf.json`` and fails when
+slot-loop throughput drops more than 30% below it.
+"""
+
+from pathlib import Path
+
+from repro.perf import bench as perf_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE = Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+def test_perf_harness(benchmark):
+    report = benchmark.pedantic(
+        perf_bench.run_bench, rounds=1, iterations=1,
+        kwargs={"quick": True, "workers": 4},
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = perf_bench.write_report(
+        report, RESULTS_DIR / "BENCH_perf.json"
+    )
+    print()
+    print(path.read_text())
+
+    slot = report["benchmarks"]["slot_loop"]
+    assert slot["slots"] > 0 and slot["seconds"] > 0
+    # The vectorized engine sits around 13k slots/s on a dev box; 1k
+    # is a floor even a loaded CI runner clears with huge margin.
+    assert slot["slots_per_sec"] > 1000, slot
+
+    offline = report["benchmarks"]["offline_training"]
+    assert offline["cached_seconds"] < offline["cold_seconds"], offline
+
+    # The committed baseline gate (same check CI applies).
+    failures = perf_bench.compare_to_baseline(report, BASELINE)
+    assert not failures, failures

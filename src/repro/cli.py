@@ -17,9 +17,18 @@ Commands
     event counts and per-phase timings from a trace file.
 ``export-trace``
     Write a synthetic solar trace as a MIDC-style CSV.
+``bench``
+    Run the perf-regression harness and write ``BENCH_perf.json``;
+    ``--baseline`` gates against a committed report (exit code 5 on a
+    regression), ``--quick`` is the CI smoke configuration.
+``cache``
+    Offline-artifact cache utilities: ``cache info`` shows the entry
+    counts and sizes, ``cache clear`` removes cached artifacts.
 
 A global ``--log-level`` (default WARNING) configures stdlib logging
-for every command.
+for every command.  ``experiment --workers N`` fans independent
+simulations over N processes; ``experiment --no-cache`` disables the
+offline-artifact disk cache for the run.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
@@ -178,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", metavar="DIR",
         help="also write the rendered table and its run manifest here",
     )
+    exp.add_argument(
+        "--workers", type=int, metavar="N",
+        help="fan independent simulations out over N processes "
+        "(default: serial, or $REPRO_WORKERS)",
+    )
+    exp.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the offline-artifact disk cache (always retrain)",
+    )
 
     obs_cmd = commands.add_parser("obs", help="observability utilities")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
@@ -192,6 +211,45 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--days", type=int, default=4)
     export.add_argument("--seed", type=int, default=0)
     export.add_argument("--out", required=True)
+
+    bench = commands.add_parser(
+        "bench", help="run the perf-regression harness"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small workloads (the CI smoke configuration)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_perf.json", metavar="PATH",
+        help="where to write the report (default BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="PATH",
+        help="compare against a committed report; exit 5 if slot "
+        "throughput regressed beyond --max-regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        help="tolerated fractional throughput drop vs the baseline "
+        "(default 0.30)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="process count for the parallel-suite benchmark (default 4)",
+    )
+
+    cache_cmd = commands.add_parser(
+        "cache", help="offline-artifact cache utilities"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("info", help="show cache location and contents")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove cached artifacts"
+    )
+    cache_clear.add_argument(
+        "--kind", metavar="KIND",
+        help="only clear one artifact kind (e.g. policy)",
+    )
     return parser
 
 
@@ -311,6 +369,16 @@ def _cmd_simulate(args, out) -> int:
 def _cmd_experiment(args, out) -> int:
     from . import experiments as exp
 
+    # Propagate the perf knobs through the environment so every helper
+    # (train_policy's disk cache, evaluation_suite's worker pool) sees
+    # them without threading arguments through each figure module.
+    if args.workers is not None:
+        if args.workers < 1:
+            raise ValueError(f"--workers must be >= 1, got {args.workers}")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+
     runners = {
         "fig1": exp.fig1_motivation.run,
         "fig2": exp.fig2_sizing.run,
@@ -363,6 +431,73 @@ def _cmd_obs(args, out) -> int:
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
+def _cmd_bench(args, out) -> int:
+    from .perf import bench as perf_bench
+
+    report = perf_bench.run_bench(quick=args.quick, workers=args.workers)
+    path = perf_bench.write_report(report, args.out)
+    b = report["benchmarks"]
+    slot = b["slot_loop"]
+    off = b["offline_training"]
+    par = b["parallel_suite"]
+    print(
+        f"slot loop:     {slot['slots_per_sec']:.0f} slots/s "
+        f"({slot['slots']} slots in {slot['seconds']:.3f}s, "
+        f"{slot['workload']})",
+        file=out,
+    )
+    print(
+        f"offline stage: cold {off['cold_seconds']:.2f}s, cache hit "
+        f"{off['cached_seconds']:.3f}s ({off['cache_speedup']:.1f}x, "
+        f"{off['workload']})",
+        file=out,
+    )
+    print(
+        f"parallel suite: serial {par['serial_seconds']:.2f}s, "
+        f"{par['workers']} workers {par['parallel_seconds']:.2f}s "
+        f"({par['speedup']:.2f}x, {par['workload']})",
+        file=out,
+    )
+    print(f"report:        {path}", file=out)
+    if args.baseline:
+        failures = perf_bench.compare_to_baseline(
+            report, args.baseline, args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 5
+        print(f"baseline:      OK vs {args.baseline}", file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    from .perf.cache import default_cache
+
+    cache = default_cache()
+    if args.cache_command == "info":
+        info = cache.info()
+        print(f"cache root: {info['root']}", file=out)
+        if not info["kinds"]:
+            print("(empty)", file=out)
+        for kind, stats in info["kinds"].items():
+            print(
+                f"  {kind}: {stats['entries']} entr"
+                f"{'y' if stats['entries'] == 1 else 'ies'}, "
+                f"{stats['bytes'] / 1e6:.1f} MB",
+                file=out,
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear(args.kind)
+        print(
+            f"removed {removed} cached artifact(s) from {cache.root}",
+            file=out,
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
 def _cmd_export(args, out) -> int:
     trace = _trace(args.days, args.seed)
     write_midc_csv(args.out, trace)
@@ -390,6 +525,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_obs(args, out)
         if args.command == "export-trace":
             return _cmd_export(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
+        if args.command == "cache":
+            return _cmd_cache(args, out)
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early: exit quietly
         # the way well-behaved Unix tools do.
@@ -399,7 +538,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             pass
         return 0
     # One-line errors with distinct exit codes: 2 = bad input/data,
-    # 3 = checkpoint mismatch/corruption, 4 = simulation failure.
+    # 3 = checkpoint mismatch/corruption, 4 = simulation failure,
+    # 5 = perf regression (returned directly by _cmd_bench).
     except (MIDCFormatError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -122,6 +122,34 @@ class LookupTable:
         )
         self.centroids: Optional[np.ndarray] = None
         self.entries: List[LUTEntry] = []
+        # Column-major mirror of ``entries`` for vectorized lookups,
+        # rebuilt whenever the entry list changes.
+        self._columns: Optional[dict] = None
+        self._columns_key: Optional[Tuple[int, int]] = None
+
+    def _entry_columns(self) -> dict:
+        """Per-field arrays over ``entries`` (lazily built and cached)."""
+        key = (id(self.entries), len(self.entries))
+        if self._columns is None or self._columns_key != key:
+            entries = self.entries
+            self._columns = {
+                "solar_class": np.array(
+                    [e.solar_class for e in entries], dtype=int
+                ),
+                "cap_index": np.array(
+                    [e.cap_index for e in entries], dtype=int
+                ),
+                "voltage": np.array([e.voltage for e in entries]),
+                "dmr": np.array([e.dmr for e in entries]),
+                "consumed_energy": np.array(
+                    [e.consumed_energy for e in entries]
+                ),
+                "feasible": np.array(
+                    [e.feasible for e in entries], dtype=bool
+                ),
+            }
+            self._columns_key = key
+        return self._columns
 
     # ------------------------------------------------------------------
     def build(self, solar_periods: np.ndarray) -> "LookupTable":
@@ -198,20 +226,23 @@ class LookupTable:
         if not 0 <= cap_index < len(self.capacitors):
             raise IndexError(f"cap_index {cap_index} out of range")
         solar_class = self.classify_solar(solar_slots)
-        candidates = [
-            e
-            for e in self.entries
-            if e.solar_class == solar_class and e.cap_index == cap_index
-        ]
+        cols = self._entry_columns()
+        mask = (cols["solar_class"] == solar_class) & (
+            cols["cap_index"] == cap_index
+        )
         if feasible_only:
-            feasible = [e for e in candidates if e.feasible]
-            candidates = feasible or candidates
-        if not candidates:
+            feasible = mask & cols["feasible"]
+            if feasible.any():
+                mask = feasible
+        idx = np.flatnonzero(mask)
+        if not len(idx):
             return None
-        voltages = sorted({e.voltage for e in candidates})
-        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
-        at_v = [e for e in candidates if e.voltage == nearest_v]
-        return min(at_v, key=lambda e: abs(e.dmr - dmr_target))
+        cand_v = cols["voltage"][idx]
+        unique_v = np.unique(cand_v)
+        nearest_v = unique_v[np.abs(unique_v - voltage).argmin()]
+        at_v = idx[cand_v == nearest_v]
+        dmr_gap = np.abs(cols["dmr"][at_v] - dmr_target)
+        return self.entries[int(at_v[dmr_gap.argmin()])]
 
     def best_for_budget(
         self,
@@ -233,17 +264,23 @@ class LookupTable:
         if self.centroids is None:
             raise RuntimeError("LUT not built; call build() first")
         solar_class = self.classify_solar(solar_slots)
-        candidates = [
-            e
-            for e in self.entries
-            if e.solar_class == solar_class
-            and e.cap_index == cap_index
-            and e.feasible
-            and e.consumed_energy <= energy_budget + 1e-9
-        ]
-        if not candidates:
+        cols = self._entry_columns()
+        mask = (
+            (cols["solar_class"] == solar_class)
+            & (cols["cap_index"] == cap_index)
+            & cols["feasible"]
+            & (cols["consumed_energy"] <= energy_budget + 1e-9)
+        )
+        idx = np.flatnonzero(mask)
+        if not len(idx):
             return None
-        voltages = sorted({e.voltage for e in candidates})
-        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
-        at_v = [e for e in candidates if e.voltage == nearest_v]
-        return min(at_v, key=lambda e: (e.dmr, e.consumed_energy))
+        cand_v = cols["voltage"][idx]
+        unique_v = np.unique(cand_v)
+        nearest_v = unique_v[np.abs(unique_v - voltage).argmin()]
+        at_v = idx[cand_v == nearest_v]
+        # lexsort is stable, so ties on (dmr, E^c) keep entry order —
+        # the same winner Python's min() over the list produced.
+        order = np.lexsort(
+            (cols["consumed_energy"][at_v], cols["dmr"][at_v])
+        )
+        return self.entries[int(at_v[order[0]])]

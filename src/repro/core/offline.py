@@ -152,12 +152,57 @@ class OfflinePipeline:
         )
 
     # ------------------------------------------------------------------
+    def cache_key(
+        self, training_trace: SolarTrace, panel: Optional[SolarPanel] = None
+    ) -> str:
+        """Content digest of everything :meth:`run`'s output depends on."""
+        from ..perf.cache import describe_graph, hash_key, trace_digest
+
+        panel = panel or SolarPanel()
+        cfg = self.dp_config
+        return hash_key(
+            {
+                "artifact": "trained-policy",
+                "graph": describe_graph(self.graph),
+                "num_capacitors": self.num_capacitors,
+                "candidates": list(self.candidates),
+                "hidden_sizes": list(self.hidden_sizes),
+                "dp_config": [
+                    cfg.energy_buckets,
+                    cfg.switch_threshold,
+                    cfg.energy_tiebreak,
+                ],
+                "delta": self.delta,
+                "switch_threshold": self.switch_threshold,
+                "pretrain_epochs": self.pretrain_epochs,
+                "finetune_epochs": self.finetune_epochs,
+                "augment_per_period": self.augment_per_period,
+                "seed": self.seed,
+                "panel_peak_power": panel.peak_power,
+                "trace": trace_digest(training_trace),
+            }
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         training_trace: SolarTrace,
         panel: Optional[SolarPanel] = None,
+        cache=None,
     ) -> TrainedPolicy:
-        """Full offline stage; returns the deployable policy."""
+        """Full offline stage; returns the deployable policy.
+
+        When an :class:`~repro.perf.cache.ArtifactCache` is supplied,
+        the trained policy is loaded from (or stored into) the cache
+        under :meth:`cache_key`, skipping sizing, the DP and DBN
+        training entirely on a hit.
+        """
+        digest = None
+        if cache is not None:
+            digest = self.cache_key(training_trace, panel)
+            cached = cache.get("policy", digest)
+            if cached is not None:
+                return cached
         tl = training_trace.timeline
         capacitors = self.size_capacitors(training_trace)
 
@@ -201,7 +246,7 @@ class OfflinePipeline:
             finetune_epochs=self.finetune_epochs,
         )
 
-        return TrainedPolicy(
+        policy = TrainedPolicy(
             graph=self.graph,
             timeline=tl,
             capacitors=tuple(capacitors),
@@ -212,3 +257,6 @@ class OfflinePipeline:
             delta=self.delta,
             switch_threshold=self.switch_threshold,
         )
+        if cache is not None and digest is not None:
+            cache.put("policy", digest, policy)
+        return policy

@@ -23,6 +23,36 @@ from .capacitor import CapacitorState, SuperCapacitor
 __all__ = ["CapacitorBank"]
 
 
+class _DeviceConstants:
+    """Per-device constant arrays derived from a bank's device models.
+
+    Everything here is a pure function of the immutable
+    :class:`SuperCapacitor` devices, so a bank can compute it once and
+    reuse it every slot; :meth:`CapacitorBank._constants` revalidates by
+    device identity so fault-injection swaps rebuild it automatically.
+    """
+
+    def __init__(self, devices: tuple) -> None:
+        self.devices = devices
+        self.capacitance = np.array([d.capacitance for d in devices])
+        readonly = self.capacitance.copy()
+        readonly.setflags(write=False)
+        self.capacitance_readonly = readonly
+        # leakage_power(V) = leak_coeff * C * V**exp + parasitic; the
+        # leading product is constant per device.
+        self.leak_coeff_cap = np.array(
+            [d.leak_coeff * d.capacitance for d in devices]
+        )
+        self.parasitic = np.array([d.parasitic_power for d in devices])
+        self.leak_exponents = [d.leak_exponent for d in devices]
+        self.cutoff_energy = np.array(
+            [0.5 * d.capacitance * d.v_cutoff * d.v_cutoff for d in devices]
+        )
+        self.full_energy = np.array(
+            [0.5 * d.capacitance * d.v_full * d.v_full for d in devices]
+        )
+
+
 class CapacitorBank:
     """``H`` distributed super capacitors, one active at a time.
 
@@ -66,6 +96,26 @@ class CapacitorBank:
             )
         self._active = active_index
         self.switch_count = 0
+        # Per-device constant arrays for the vectorized slot update;
+        # rebuilt lazily whenever a device model changes (swap_device,
+        # including direct CapacitorState.swap_device calls).
+        self._device_cache: _DeviceConstants | None = None
+
+    # ------------------------------------------------------------------
+    def _constants(self) -> "_DeviceConstants":
+        """Cached per-device constants, revalidated by identity."""
+        cache = self._device_cache
+        if cache is not None:
+            devices = cache.devices
+            for i, state in enumerate(self.states):
+                if state.capacitor is not devices[i]:
+                    cache = None
+                    break
+        if cache is None:
+            cache = self._device_cache = _DeviceConstants(
+                tuple(s.capacitor for s in self.states)
+            )
+        return cache
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -100,6 +150,20 @@ class CapacitorBank:
     def capacitances(self) -> np.ndarray:
         """Capacitance of every bank member, farads."""
         return np.array([s.capacitor.capacitance for s in self.states])
+
+    def view_arrays(self) -> tuple:
+        """``(capacitances, voltages, usable_energies)`` for a BankView.
+
+        The hot-loop variant of the three array helpers above: the
+        capacitance array is a shared read-only constant and the usable
+        energies are derived from the voltage vector in one vectorized
+        pass instead of one property chain per capacitor.
+        """
+        consts = self._constants()
+        voltages = np.array([s.voltage for s in self.states])
+        stored = 0.5 * consts.capacitance * voltages * voltages
+        usable = np.maximum(stored - consts.cutoff_energy, 0.0)
+        return consts.capacitance_readonly, voltages, usable
 
     # ------------------------------------------------------------------
     def select(self, index: int) -> None:
@@ -156,22 +220,44 @@ class CapacitorBank:
         The parasitic (connected-circuitry) drain only applies to the
         active capacitor; idle capacitors see pure self-leakage.
         Returns the total energy lost.
+
+        The update runs vectorized over the whole bank.  The voltage
+        power term keeps per-element Python ``**`` (numpy's pow ufunc
+        is not bit-identical to libm's), so results match the original
+        per-capacitor update exactly; everything else is elementwise
+        IEEE arithmetic with the same operation order as
+        :meth:`~repro.energy.capacitor.CapacitorState.leak`.
         """
         if duration < 0:
             raise ValueError(f"duration must be >= 0, got {duration}")
+        consts = self._constants()
+        states = self.states
+        volts = [s.voltage for s in states]
+        powv = np.array(
+            [v**e for v, e in zip(volts, consts.leak_exponents)]
+        )
+        v_arr = np.array(volts)
+        # P_leak(V) = (k·C)·V**exp + p0, as in SuperCapacitor.leakage_power.
+        leak_power = consts.leak_coeff_cap * powv + consts.parasitic
+        before = 0.5 * consts.capacitance * v_arr * v_arr
+        # Idle capacitors: the parasitic term is subtracted back out
+        # (not omitted — (x + p0) - p0 is not x in floating point).
+        idle_power = np.maximum(leak_power - consts.parasitic, 0.0)
+        new_energy = np.maximum(before - idle_power * duration, 0.0)
+        # The active capacitor pays the full drain and clamps the way
+        # CapacitorState._set_energy does ([0, E_full]).
+        a = self._active
+        e_a = before[a] - leak_power[a] * duration
+        e_a = min(max(e_a, 0.0), consts.full_energy[a])
+        new_energy[a] = e_a
+        new_volts = np.sqrt(2.0 * new_energy / consts.capacitance)
+        after = 0.5 * consts.capacitance * new_volts * new_volts
+        diffs = before - after
         lost = 0.0
-        for i, state in enumerate(self.states):
-            before = state.stored_energy
-            if i == self._active:
-                state.leak(duration)
-            else:
-                # Idle capacitor: leakage without the parasitic term.
-                cap = state.capacitor
-                power = cap.leakage_power(state.voltage) - cap.parasitic_power
-                new_energy = max(before - max(power, 0.0) * duration, 0.0)
-                state.voltage = cap.voltage_at(new_energy)
-            lost += before - state.stored_energy
-        return lost
+        for i, state in enumerate(states):
+            state.voltage = float(new_volts[i])
+            lost += diffs[i]
+        return float(lost)
 
     def __repr__(self) -> str:
         caps = ", ".join(

@@ -212,15 +212,39 @@ class CapacitorState:
             raise ValueError(f"energy_in must be >= 0, got {energy_in}")
         if substeps < 1:
             raise ValueError(f"substeps must be >= 1, got {substeps}")
+        # Hot path of PMU.supply_slot: the substep recurrence is kept in
+        # locals and written back once.  Operation order matches the
+        # original property-based loop exactly (bit-identical results).
+        cap = self.capacitor
+        c = cap.capacitance
+        v_full = cap.v_full
+        e_full = 0.5 * c * v_full * v_full
+        regulator = cap.input_regulator
+        cycle_eta = cap.cycle_efficiency
+        v = self.voltage
+        energy = 0.5 * c * v * v
+        v_stop = v_full - 1e-12
         stored_total = 0.0
         chunk = energy_in / substeps
         for _ in range(substeps):
-            if self.voltage >= self.capacitor.v_full - 1e-12:
+            if v >= v_stop:
                 break
-            eta = self.capacitor.charge_efficiency(self.voltage)
-            stored = min(chunk * eta, self.headroom)
-            self._set_energy(self.stored_energy + stored)
+            eta = regulator.efficiency(v) * cycle_eta
+            headroom = e_full - energy
+            if headroom < 0.0:
+                headroom = 0.0
+            stored = chunk * eta
+            if stored > headroom:
+                stored = headroom
+            new_energy = energy + stored
+            if new_energy < 0.0:
+                new_energy = 0.0
+            elif new_energy > e_full:
+                new_energy = e_full
+            v = math.sqrt(2.0 * new_energy / c)
+            energy = 0.5 * c * v * v
             stored_total += stored
+        self.voltage = v
         return stored_total
 
     def discharge(self, energy_needed: float, substeps: int = 4) -> float:
@@ -234,18 +258,39 @@ class CapacitorState:
             raise ValueError(f"energy_needed must be >= 0, got {energy_needed}")
         if substeps < 1:
             raise ValueError(f"substeps must be >= 1, got {substeps}")
+        cap = self.capacitor
+        c = cap.capacitance
+        e_full = 0.5 * c * cap.v_full * cap.v_full
+        e_cutoff = 0.5 * c * cap.v_cutoff * cap.v_cutoff
+        regulator = cap.output_regulator
+        cycle_eta = cap.cycle_efficiency
+        v = self.voltage
+        energy = 0.5 * c * v * v
+        v_stop = cap.v_cutoff + 1e-12
         delivered_total = 0.0
         chunk = energy_needed / substeps
         for _ in range(substeps):
-            if self.voltage <= self.capacitor.v_cutoff + 1e-12:
+            if v <= v_stop:
                 break
-            eta = self.capacitor.discharge_efficiency(self.voltage)
+            eta = regulator.efficiency(v) * cycle_eta
             if eta <= 0:
                 break
-            drawn = min(chunk / eta, self.usable_energy)
+            usable = energy - e_cutoff
+            if usable < 0.0:
+                usable = 0.0
+            drawn = chunk / eta
+            if drawn > usable:
+                drawn = usable
             delivered = drawn * eta
-            self._set_energy(self.stored_energy - drawn)
+            new_energy = energy - drawn
+            if new_energy < 0.0:
+                new_energy = 0.0
+            elif new_energy > e_full:
+                new_energy = e_full
+            v = math.sqrt(2.0 * new_energy / c)
+            energy = 0.5 * c * v * v
             delivered_total += delivered
+        self.voltage = v
         return delivered_total
 
     def swap_device(self, capacitor: SuperCapacitor) -> SuperCapacitor:

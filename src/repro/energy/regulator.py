@@ -53,14 +53,25 @@ class RegulatorCurve:
             raise ValueError(f"v_half must be > 0, got {self.v_half}")
         if not self.exponent > 0:
             raise ValueError(f"exponent must be > 0, got {self.exponent}")
+        # Constant denominator term, hoisted out of efficiency(); the
+        # dataclass is frozen so bypass the normal setattr.
+        object.__setattr__(self, "_vhalf_pow", self.v_half**self.exponent)
 
     def efficiency(self, voltage: np.ndarray | float) -> np.ndarray | float:
         """Conversion efficiency at the given capacitor voltage(s)."""
+        if isinstance(voltage, (float, int)):
+            # Scalar fast path for the per-slot charge/discharge loop.
+            # np.power is the same ufunc the array path runs through,
+            # so scalar and array calls stay bit-identical.
+            if voltage < 0:
+                raise ValueError("voltage must be >= 0")
+            vp = np.power(voltage, self.exponent)
+            return float(self.eta_max * vp / (vp + self._vhalf_pow))
         v = np.asarray(voltage, dtype=float)
         if np.any(v < 0):
             raise ValueError("voltage must be >= 0")
         vp = v**self.exponent
-        eta = self.eta_max * vp / (vp + self.v_half**self.exponent)
+        eta = self.eta_max * vp / (vp + self._vhalf_pow)
         return float(eta) if np.isscalar(voltage) else eta
 
     def __call__(self, voltage: np.ndarray | float) -> np.ndarray | float:

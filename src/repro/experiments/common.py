@@ -24,6 +24,8 @@ from ..core import (
     trace_period_matrix,
 )
 from ..obs import Observer, build_manifest
+from ..perf.cache import cache_enabled, default_cache
+from ..perf.parallel import parallel_map, resolve_workers
 from ..schedulers import InterTaskScheduler, IntraTaskScheduler, Scheduler
 from ..sim.engine import simulate
 from ..sim.recorder import SimulationResult
@@ -41,6 +43,7 @@ __all__ = [
     "default_timeline",
     "training_trace",
     "train_policy",
+    "sized_capacitors",
     "evaluation_suite",
     "write_experiment_manifest",
     "STANDARD_SCHEDULERS",
@@ -60,6 +63,7 @@ TRAIN_DAYS = 12
 STANDARD_SCHEDULERS = ("inter-task", "intra-task", "proposed", "optimal")
 
 _policy_cache: Dict[Tuple, TrainedPolicy] = {}
+_sizing_cache: Dict[Tuple, Tuple] = {}
 
 
 @dataclasses.dataclass
@@ -132,17 +136,92 @@ def train_policy(
     train_days: int = TRAIN_DAYS,
     seed: int = TRAIN_SEED,
     finetune_epochs: int = 300,
+    use_cache: Optional[bool] = None,
 ) -> TrainedPolicy:
-    """Cached offline pipeline run for one benchmark."""
+    """Cached offline pipeline run for one benchmark.
+
+    Two cache layers: an in-process memo keyed by the parameter tuple
+    (so one session never trains the same configuration twice), then
+    the content-addressed disk cache of :mod:`repro.perf.cache` (so
+    separate invocations don't either).  ``use_cache`` overrides the
+    ``REPRO_NO_CACHE`` environment default for the disk layer; the
+    in-process memo is always on.
+    """
     key = (graph.name, num_capacitors, train_days, seed, finetune_epochs)
-    if key not in _policy_cache:
+    policy = _policy_cache.get(key)
+    if policy is None:
         pipe = OfflinePipeline(
             graph,
             num_capacitors=num_capacitors,
             finetune_epochs=finetune_epochs,
         )
-        _policy_cache[key] = pipe.run(training_trace(train_days, seed))
-    return _policy_cache[key]
+        disk = use_cache if use_cache is not None else cache_enabled()
+        policy = pipe.run(
+            training_trace(train_days, seed),
+            cache=default_cache() if disk else None,
+        )
+        _policy_cache[key] = policy
+    return policy
+
+
+def sized_capacitors(
+    graph: TaskGraph,
+    num_capacitors: int = 4,
+    train_days: int = TRAIN_DAYS,
+    seed: int = TRAIN_SEED,
+) -> Tuple:
+    """Section 4.1 sizing only, memoized like :func:`train_policy`.
+
+    Figures that only need the sized bank (e.g. the capacitor-count
+    sweep) used to re-run the sizing step on every invocation; this
+    memoizes it per process and reuses the bank of an already trained
+    policy for the same configuration when one exists.
+    """
+    key = (graph.name, num_capacitors, train_days, seed)
+    capacitors = _sizing_cache.get(key)
+    if capacitors is None:
+        for (g, h, d, s, _epochs), policy in _policy_cache.items():
+            if (g, h, d, s) == key:
+                capacitors = policy.capacitors
+                break
+        else:
+            pipe = OfflinePipeline(graph, num_capacitors=num_capacitors)
+            capacitors = tuple(
+                pipe.size_capacitors(training_trace(train_days, seed))
+            )
+        _sizing_cache[key] = capacitors
+    return capacitors
+
+
+def _suite_scheduler(
+    name: str, graph: TaskGraph, trace: SolarTrace, policy: TrainedPolicy
+) -> Scheduler:
+    """Build one comparison scheduler by key (shared serial/parallel)."""
+    if name == "inter-task":
+        return InterTaskScheduler()
+    if name == "intra-task":
+        return IntraTaskScheduler()
+    if name == "proposed":
+        return policy.make_scheduler()
+    if name == "optimal":
+        optimizer = LongTermOptimizer(
+            graph, trace.timeline, list(policy.capacitors)
+        )
+        plan = optimizer.optimize(
+            trace_period_matrix(trace), extract_matrices=False
+        )
+        return StaticOptimalScheduler(plan)
+    raise ValueError(f"unknown scheduler key {name!r}")
+
+
+def _suite_cell(args: Tuple) -> Tuple[str, SimulationResult]:
+    """One (scheduler, trace) simulation; module-level so it pickles."""
+    graph, trace, policy, name = args
+    scheduler = _suite_scheduler(name, graph, trace, policy)
+    result = simulate(
+        policy.make_node(), graph, trace, scheduler, strict=False
+    )
+    return name, result
 
 
 def evaluation_suite(
@@ -151,6 +230,7 @@ def evaluation_suite(
     policy: Optional[TrainedPolicy] = None,
     include: Sequence[str] = STANDARD_SCHEDULERS,
     observer: Optional[Observer] = None,
+    n_workers: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Run the paper's four-way comparison on one trace.
 
@@ -158,27 +238,21 @@ def evaluation_suite(
     ``proposed`` the DBN-based online scheduler, ``optimal`` the static
     upper bound computed on the true trace.  An ``observer`` (shared
     across the runs) traces every simulation.
+
+    ``n_workers`` (or ``$REPRO_WORKERS``) fans the schedulers out over
+    a process pool; every cell is an independent simulation with its
+    own node, so parallel results are identical to serial ones.
+    Observed runs stay serial — sinks hold file handles that cannot
+    cross processes.
     """
     policy = policy or train_policy(graph)
+    workers = resolve_workers(n_workers)
+    if observer is None and workers > 1 and len(include) > 1:
+        cells = [(graph, trace, policy, name) for name in include]
+        return dict(parallel_map(_suite_cell, cells, n_workers=workers))
     results: Dict[str, SimulationResult] = {}
     for name in include:
-        scheduler: Scheduler
-        if name == "inter-task":
-            scheduler = InterTaskScheduler()
-        elif name == "intra-task":
-            scheduler = IntraTaskScheduler()
-        elif name == "proposed":
-            scheduler = policy.make_scheduler()
-        elif name == "optimal":
-            optimizer = LongTermOptimizer(
-                graph, trace.timeline, list(policy.capacitors)
-            )
-            plan = optimizer.optimize(
-                trace_period_matrix(trace), extract_matrices=False
-            )
-            scheduler = StaticOptimalScheduler(plan)
-        else:
-            raise ValueError(f"unknown scheduler key {name!r}")
+        scheduler = _suite_scheduler(name, graph, trace, policy)
         results[name] = simulate(
             policy.make_node(),
             graph,

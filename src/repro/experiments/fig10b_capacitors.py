@@ -13,12 +13,11 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core import LongTermOptimizer, StaticOptimalScheduler, trace_period_matrix
-from ..core.offline import OfflinePipeline
 from ..node import SensorNode
 from ..sim.engine import simulate
 from ..solar import four_day_trace
 from ..tasks import random_case
-from .common import ExperimentTable, default_timeline, training_trace
+from .common import ExperimentTable, default_timeline, sized_capacitors
 
 __all__ = ["run"]
 
@@ -29,13 +28,11 @@ def run(
 ) -> ExperimentTable:
     graph = random_case(1)
     trace = four_day_trace(default_timeline(4))
-    train = training_trace()
 
     rows = []
     dmrs, effs = [], []
     for h in counts:
-        pipe = OfflinePipeline(graph, num_capacitors=h)
-        capacitors = pipe.size_capacitors(train)
+        capacitors = list(sized_capacitors(graph, num_capacitors=h))
         optimizer = LongTermOptimizer(graph, trace.timeline, capacitors)
         plan = optimizer.optimize(
             trace_period_matrix(trace), extract_matrices=False

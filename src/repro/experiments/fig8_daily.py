@@ -29,6 +29,7 @@ __all__ = ["run"]
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     finetune_epochs: int = 300,
+    n_workers: Optional[int] = None,
 ) -> ExperimentTable:
     registry = paper_benchmarks()
     names = list(benchmarks) if benchmarks else list(registry)
@@ -43,7 +44,7 @@ def run(
     for bench_name in names:
         graph = registry[bench_name]
         policy = train_policy(graph, finetune_epochs=finetune_epochs)
-        results = evaluation_suite(graph, trace, policy)
+        results = evaluation_suite(graph, trace, policy, n_workers=n_workers)
         by_day = {k: r.dmr_by_day() for k, r in results.items()}
         for day in range(4):
             rows.append(

@@ -21,11 +21,13 @@ from .common import (
 __all__ = ["run"]
 
 
-def run(num_days: int = 60, eval_seed: int = 2016) -> ExperimentTable:
+def run(
+    num_days: int = 60, eval_seed: int = 2016, n_workers: int | None = None
+) -> ExperimentTable:
     graph = wam()
     trace = synthetic_trace(default_timeline(num_days), seed=eval_seed)
     policy = train_policy(graph)
-    results = evaluation_suite(graph, trace, policy)
+    results = evaluation_suite(graph, trace, policy, n_workers=n_workers)
 
     headers = ["metric"] + list(results)
     rows = [

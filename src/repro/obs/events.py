@@ -465,6 +465,12 @@ class Observer:
                 flat_period=int(flat_period),
             )
         )
+        # A checkpoint marks durable progress: push buffered events to
+        # disk too, so the trace never trails the resumable state.
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
 
     def period_end(
         self,

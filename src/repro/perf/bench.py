@@ -1,0 +1,215 @@
+"""The ``repro bench`` perf-regression harness.
+
+Times the three things this reproduction spends wall-clock on —
+
+- the per-slot simulation loop (slots/sec on the fig-8 workload:
+  WAM, intra-task, one canonical solar day),
+- the offline stage (cold train vs a disk-cache hit),
+- an end-to-end evaluation suite, serial vs the parallel runner
+  (the fig-9 monthly sweep in full mode),
+
+— and writes the numbers to ``BENCH_perf.json`` so the perf trajectory
+is tracked PR-over-PR.  :func:`compare_to_baseline` implements the CI
+gate: the current slot-loop throughput must stay within a tolerance of
+the committed baseline.
+
+The phase breakdown comes from the existing ``obs.profile`` spans
+(``coarse_hook`` / ``slot_loop`` / ``leakage_update``); the headline
+slots/sec is measured on an *unobserved* run, the configuration the
+experiments actually use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["run_bench", "compare_to_baseline", "write_report", "BENCH_VERSION"]
+
+BENCH_VERSION = 1
+
+#: Default report location (repo root when run from there).
+DEFAULT_REPORT = "BENCH_perf.json"
+
+#: CI gate: fail when slot throughput drops by more than this fraction.
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def _bench_slot_loop(quick: bool) -> Dict[str, Any]:
+    """Slots/sec of the fig-8 workload; phase totals from obs.profile."""
+    from .. import quick_node
+    from ..obs import Observer
+    from ..schedulers import IntraTaskScheduler
+    from ..sim.engine import simulate
+    from ..solar import four_day_trace
+    from ..tasks import paper_benchmarks
+    from ..timeline import Timeline
+
+    timeline = Timeline(
+        num_days=4, periods_per_day=144, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+    graph = paper_benchmarks()["WAM"]
+    trace = four_day_trace(timeline).day_slice(0)
+    repeats = 1 if quick else 3
+
+    # Headline number: the unobserved configuration (NULL_OBSERVER),
+    # best of ``repeats`` to shave scheduler-noise.
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate(
+            quick_node(graph), graph, trace, IntraTaskScheduler(),
+            strict=False,
+        )
+        best = min(best, time.perf_counter() - t0)
+    slots = trace.timeline.total_slots
+
+    # Phase breakdown: one observed run through the same workload.
+    observer = Observer()
+    simulate(
+        quick_node(graph), graph, trace, IntraTaskScheduler(),
+        strict=False, observer=observer,
+    )
+    phases = observer.profiler.snapshot()
+
+    return {
+        "workload": "fig8/WAM/intra-task/canonical-day1",
+        "slots": slots,
+        "seconds": best,
+        "slots_per_sec": slots / best,
+        "phases": phases,
+    }
+
+
+def _bench_offline(quick: bool) -> Dict[str, Any]:
+    """Cold offline-stage training vs a disk-cache hit."""
+    import shutil
+    import tempfile
+
+    from ..core.offline import OfflinePipeline
+    from ..experiments.common import training_trace
+    from ..tasks import paper_benchmarks
+    from .cache import ArtifactCache
+
+    graph = paper_benchmarks()["WAM"]
+    train_days = 2 if quick else 4
+    epochs = 5 if quick else 40
+    pipe = OfflinePipeline(graph, finetune_epochs=epochs)
+    trace = training_trace(train_days)
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cache = ArtifactCache(tmp)
+        t0 = time.perf_counter()
+        pipe.run(trace, cache=cache)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pipe.run(trace, cache=cache)
+        cached = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "workload": f"offline/WAM/{train_days}d/{epochs}ep",
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "cache_speedup": cold / max(cached, 1e-9),
+    }
+
+
+def _bench_parallel(quick: bool, workers: int) -> Dict[str, Any]:
+    """Serial vs parallel evaluation suite (fig-9 sweep in full mode)."""
+    from ..experiments.common import (
+        default_timeline,
+        evaluation_suite,
+        train_policy,
+    )
+    from ..solar import four_day_trace, synthetic_trace
+    from ..tasks import paper_benchmarks
+
+    graph = paper_benchmarks()["WAM"]
+    if quick:
+        policy = train_policy(graph, train_days=2, finetune_epochs=5)
+        trace = four_day_trace(default_timeline(4)).day_slice(1)
+        workload = "suite/WAM/canonical-day2"
+    else:
+        policy = train_policy(graph)
+        trace = synthetic_trace(default_timeline(60), seed=2016)
+        workload = "fig9/WAM/60d/seed2016"
+
+    t0 = time.perf_counter()
+    evaluation_suite(graph, trace, policy, n_workers=1)
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    evaluation_suite(graph, trace, policy, n_workers=workers)
+    parallel = time.perf_counter() - t0
+    return {
+        "workload": workload,
+        "workers": workers,
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "speedup": serial / max(parallel, 1e-9),
+    }
+
+
+def run_bench(quick: bool = False, workers: int = 4) -> Dict[str, Any]:
+    """Run the full harness; returns the report dict."""
+    report: Dict[str, Any] = {
+        "version": BENCH_VERSION,
+        "quick": quick,
+        # Parallel-suite speedup is bounded by the host's core count;
+        # record it so a 1x on a single-core box reads as expected,
+        # not as a regression (the baseline gate ignores it anyway).
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+        },
+        "benchmarks": {
+            "slot_loop": _bench_slot_loop(quick),
+            "offline_training": _bench_offline(quick),
+            "parallel_suite": _bench_parallel(quick, workers),
+        },
+    }
+    return report
+
+
+def write_report(report: Dict[str, Any], path=DEFAULT_REPORT) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def compare_to_baseline(
+    report: Dict[str, Any],
+    baseline_path,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> List[str]:
+    """Regression check against a committed baseline report.
+
+    Only the slot-loop throughput gates (cache/parallel numbers vary
+    too much with machine load); returns human-readable failures,
+    empty when the current run is acceptable.  A missing baseline is
+    not a failure — there is nothing to regress against.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    failures: List[str] = []
+    try:
+        base_tp = baseline["benchmarks"]["slot_loop"]["slots_per_sec"]
+    except (KeyError, TypeError):
+        return [f"baseline {baseline_path} has no slot_loop throughput"]
+    cur_tp = report["benchmarks"]["slot_loop"]["slots_per_sec"]
+    floor = base_tp * (1.0 - max_regression)
+    if cur_tp < floor:
+        failures.append(
+            f"slot-loop throughput regressed: {cur_tp:.0f} slots/s vs "
+            f"baseline {base_tp:.0f} (floor {floor:.0f}, "
+            f"-{100 * (1 - cur_tp / base_tp):.1f}%)"
+        )
+    return failures

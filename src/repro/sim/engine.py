@@ -35,7 +35,6 @@ from ..obs.events import NULL_OBSERVER, Observer
 from ..schedulers.base import Scheduler
 from ..solar.trace import SolarTrace
 from ..tasks.graph import TaskGraph
-from ..timeline import SlotIndex
 from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointConfig,
@@ -123,10 +122,11 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def _bank_view(self) -> BankView:
         bank = self.node.bank
+        capacitances, voltages, usable = bank.view_arrays()
         return BankView(
-            capacitances=bank.capacitances(),
-            voltages=bank.voltages(),
-            usable_energies=bank.usable_energies(),
+            capacitances=capacitances,
+            voltages=voltages,
+            usable_energies=usable,
             active_index=bank.active_index,
         )
 
@@ -259,6 +259,19 @@ class SimulationEngine:
             # reset what it learned before the checkpoint).
             self.scheduler.bind(tl, self.graph)
 
+        # Hot-loop hoists: everything here is invariant across slots
+        # (the fault injector swaps capacitor *devices* in place, never
+        # the bank/NVP/DVFS objects themselves).
+        graph = self.graph
+        bank = self.node.bank
+        nvps = self.node.nvps
+        pmu_supply = self.node.pmu.supply_slot
+        dvfs = self.node.dvfs
+        trace_power = self.trace.power
+        task_powers = [t.power for t in graph.tasks]
+        nvp_of = [graph.nvp_of(i) for i in range(len(graph))]
+        slots_per_period = tl.slots_per_period
+
         for flat_p in range(start_flat, tl.total_periods):
             day, period = tl.unflatten_period(flat_p)
             period_start_slot = flat_p * tl.slots_per_period
@@ -305,22 +318,28 @@ class SimulationEngine:
             storage_energy = charged_energy = offered_surplus = 0.0
             leakage_energy = 0.0
             brownouts = 0
-            period_powers = np.zeros(tl.slots_per_period)
+            # The whole period's solar input in one array read; with no
+            # fault injector the per-slot store becomes a single copy.
+            solar_row = trace_power[day, period]
+            if inj is None:
+                period_powers = solar_row.copy()
+            else:
+                period_powers = np.zeros(slots_per_period)
 
             slot_loop_span = obs.span("slot_loop")
             slot_loop_span.__enter__()
-            for slot in range(tl.slots_per_period):
+            for slot in range(slots_per_period):
                 if active:
                     obs.set_time(day, period, slot)
                 newly_missed = runtime.check_deadlines(slot)
                 if active and newly_missed:
                     obs.deadline_miss(newly_missed)
-                solar_power = self.trace.slot_power(SlotIndex(day, period, slot))
+                solar_power = float(solar_row[slot])
                 if inj is not None:
                     flat_slot = period_start_slot + slot
                     inj.sync(self.node, flat_slot)
                     solar_power = inj.transform_solar(flat_slot, solar_power)
-                period_powers[slot] = solar_power
+                    period_powers[slot] = solar_power
                 ready = runtime.ready_tasks(slot)
                 decision = self.scheduler.on_slot(
                     SlotView(
@@ -340,26 +359,32 @@ class SimulationEngine:
                     )
                 )
                 chosen = self._validate(decision, ready)
-                dvfs = self.node.dvfs
-                load_power = float(
-                    sum(
-                        self.graph.tasks[i].power
-                        * (dvfs.power_factor(level) if dvfs else 1.0)
-                        for i, level in chosen
+                # x * 1.0 is bitwise x, so the DVFS-less fast paths
+                # reproduce the scaled expressions exactly.
+                if dvfs is None:
+                    load_power = float(
+                        sum(task_powers[i] for i, _ in chosen)
                     )
-                )
-                flow = self.node.pmu.supply_slot(solar_power, load_power, dt)
-                runtime.advance_scaled(
-                    [
-                        (
-                            i,
-                            flow.run_fraction
-                            * dt
-                            * (dvfs.rate(level) if dvfs else 1.0),
+                else:
+                    load_power = float(
+                        sum(
+                            task_powers[i] * dvfs.power_factor(level)
+                            for i, level in chosen
                         )
-                        for i, level in chosen
-                    ]
-                )
+                    )
+                flow = pmu_supply(solar_power, load_power, dt)
+                if dvfs is None:
+                    powered_seconds = flow.run_fraction * dt
+                    runtime.advance_scaled(
+                        [(i, powered_seconds) for i, _ in chosen]
+                    )
+                else:
+                    runtime.advance_scaled(
+                        [
+                            (i, flow.run_fraction * dt * dvfs.rate(level))
+                            for i, level in chosen
+                        ]
+                    )
                 if active:
                     obs.slot_decision(
                         ready=ready,
@@ -373,7 +398,7 @@ class SimulationEngine:
                 # slot restores them.  The energies are tiny (µJ, [13])
                 # but they come out of the storage path like any load.
                 cycle_cost = 0.0
-                active_nvps = {self.graph.nvp_of(i) for i, _ in chosen}
+                active_nvps = {nvp_of[i] for i, _ in chosen}
                 if flow.run_fraction < 1.0 - 1e-9 and chosen:
                     brownouts += 1
                     if active:
@@ -381,24 +406,24 @@ class SimulationEngine:
                             run_fraction=flow.run_fraction,
                             needed_energy=load_power * dt,
                             delivered_energy=flow.load_energy,
-                            active_index=self.node.bank.active_index,
-                            active_voltage=self.node.bank.active.voltage,
+                            active_index=bank.active_index,
+                            active_voltage=bank.active.voltage,
                         )
                     for k in active_nvps:
-                        cycle_cost += self.node.nvps[k].power_fail()
+                        cycle_cost += nvps[k].power_fail()
                 else:
                     for k in active_nvps:
-                        cycle_cost += self.node.nvps[k].power_up()
+                        cycle_cost += nvps[k].power_up()
                 if cycle_cost > 0:
-                    self.node.bank.active.discharge(cycle_cost)
+                    bank.active.discharge(cycle_cost)
                 if active:
                     _leak_t0 = perf_counter()
-                    lost = self.node.bank.leak_all(dt)
+                    lost = bank.leak_all(dt)
                     obs.profiler.add(
                         "leakage_update", perf_counter() - _leak_t0
                     )
                 else:
-                    lost = self.node.bank.leak_all(dt)
+                    lost = bank.leak_all(dt)
 
                 solar_energy += solar_power * dt
                 load_energy += flow.load_energy
@@ -409,14 +434,12 @@ class SimulationEngine:
                 leakage_energy += lost
 
                 if slot_arrays is not None:
-                    flat = tl.flat_slot(SlotIndex(day, period, slot))
+                    flat = period_start_slot + slot
                     slot_arrays.solar_power[flat] = solar_power
                     slot_arrays.load_power[flat] = load_power
                     slot_arrays.run_fraction[flat] = flow.run_fraction
-                    slot_arrays.active_voltage[flat] = (
-                        self.node.bank.active.voltage
-                    )
-                    slot_arrays.active_index[flat] = self.node.bank.active_index
+                    slot_arrays.active_voltage[flat] = bank.active.voltage
+                    slot_arrays.active_index[flat] = bank.active_index
 
             slot_loop_span.__exit__(None, None, None)
             if active:

@@ -47,6 +47,17 @@ class PeriodRuntime:
             [timeline.deadline_slot(t.deadline) for t in graph.tasks],
             dtype=int,
         )
+        # Hot-loop accelerators: a boolean predecessor matrix so
+        # readiness is one vectorized mask, and a slot -> tasks map so
+        # the per-slot deadline check only touches tasks actually due.
+        pred_mask = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for p in graph.predecessors(i):
+                pred_mask[i, p] = True
+        self._pred_mask = pred_mask
+        self._deadline_map: dict = {}
+        for i, s in enumerate(self.deadline_slots.tolist()):
+            self._deadline_map.setdefault(s, []).append(i)
 
     # ------------------------------------------------------------------
     @property
@@ -62,16 +73,10 @@ class PeriodRuntime:
         Ready = not completed, not missed, deadline not yet reached,
         and every predecessor completed (Eq. 7).
         """
-        done = self.completed
-        ready: List[int] = []
-        for i in range(len(self.graph)):
-            if done[i] or self.missed[i]:
-                continue
-            if slot >= self.deadline_slots[i]:
-                continue
-            if all(done[p] for p in self.graph.predecessors(i)):
-                ready.append(i)
-        return tuple(ready)
+        done = self.remaining <= COMPLETION_EPS
+        blocked = (self._pred_mask & ~done).any(axis=1)
+        ready = ~done & ~self.missed & (slot < self.deadline_slots) & ~blocked
+        return tuple(np.flatnonzero(ready).tolist())
 
     def advance(self, tasks: Sequence[int], seconds: float) -> None:
         """Progress the given tasks by ``seconds`` of execution."""
@@ -104,13 +109,15 @@ class PeriodRuntime:
         moment their producer misses, so schedulers stop wasting energy
         on them.
         """
+        candidates = self._deadline_map.get(slot)
+        if not candidates:
+            return ()
         newly_missed: List[int] = []
-        for i in range(len(self.graph)):
+        for i in candidates:
             if self.missed[i] or self.is_completed(i):
                 continue
-            if self.deadline_slots[i] == slot:
-                self.missed[i] = True
-                newly_missed.append(i)
+            self.missed[i] = True
+            newly_missed.append(i)
         # Cascade: dependents of an incomplete missed task cannot run.
         for i in list(newly_missed):
             for d in self.graph.descendants(i):

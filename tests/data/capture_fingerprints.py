@@ -1,0 +1,64 @@
+"""Regenerate tests/data/engine_fingerprints.json from the current engine.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/capture_fingerprints.py
+
+The stored digests pin the simulation results of the 4 canonical solar
+days and the 7 seeded runtime fault scenarios; the fast-path test suite
+replays the same runs and asserts bit-identity, so any numerical drift
+in the hot loop is caught immediately.
+"""
+
+import json
+from pathlib import Path
+
+from repro import quick_node
+from repro.reliability import RUNTIME_SCENARIOS, FaultInjector, runtime_scenario
+from repro.schedulers import GreedyEDFScheduler, IntraTaskScheduler
+from repro.sim import result_fingerprint
+from repro.sim.engine import simulate
+from repro.solar import four_day_trace, synthetic_trace
+from repro.tasks import paper_benchmarks
+from repro.timeline import Timeline
+
+
+def _timeline(days):
+    return Timeline(
+        num_days=days, periods_per_day=144, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+
+
+def capture():
+    graph = paper_benchmarks()["WAM"]
+    fingerprints = {}
+
+    four = four_day_trace(_timeline(4))
+    for day in range(4):
+        trace = four.day_slice(day)
+        result = simulate(
+            quick_node(graph), graph, trace, IntraTaskScheduler(),
+            strict=False,
+        )
+        fingerprints[f"canonical-day{day + 1}/intra-task"] = (
+            result_fingerprint(result)
+        )
+
+    chaos_trace = synthetic_trace(_timeline(1), seed=3)
+    for scenario in sorted(RUNTIME_SCENARIOS):
+        plan = runtime_scenario(scenario, chaos_trace.timeline, seed=0)
+        injector = FaultInjector(plan, chaos_trace.timeline)
+        result = simulate(
+            quick_node(graph), graph, chaos_trace, GreedyEDFScheduler(),
+            strict=False, fault_injector=injector,
+        )
+        fingerprints[f"fault-{scenario}/asap"] = result_fingerprint(result)
+    return fingerprints
+
+
+if __name__ == "__main__":
+    fingerprints = capture()
+    out = Path(__file__).with_name("engine_fingerprints.json")
+    out.write_text(json.dumps(fingerprints, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(fingerprints)} fingerprints to {out}")

@@ -1,0 +1,289 @@
+"""Tests for the performance layer: bit-identity of the vectorized
+engine, the offline-artifact disk cache, the parallel runner, the
+vectorized LUT lookup and the buffered JSONL sink."""
+
+import importlib.util
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.offline import OfflinePipeline
+from repro.experiments.common import evaluation_suite, train_policy
+from repro.obs import JsonlSink, Observer, read_jsonl
+from repro.perf.cache import (
+    ArtifactCache,
+    cache_enabled,
+    default_cache_dir,
+    hash_key,
+)
+from repro.perf.parallel import parallel_map, resolve_workers
+from repro.sim import result_fingerprint
+from repro.solar import synthetic_trace
+from repro.tasks import paper_benchmarks
+from repro.timeline import Timeline
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def _timeline(days: int) -> Timeline:
+    return Timeline(
+        num_days=days, periods_per_day=144, slots_per_period=20,
+        slot_seconds=30.0,
+    )
+
+
+def _tiny_policy(graph):
+    return train_policy(
+        graph, train_days=2, finetune_epochs=5, use_cache=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of the vectorized engine
+# ----------------------------------------------------------------------
+class TestEngineFingerprints:
+    """The hot-loop rewrite must not move a single bit.
+
+    ``tests/data/engine_fingerprints.json`` was captured from the
+    scalar pre-vectorization engine (see ``capture_fingerprints.py``
+    next to it); replaying the same 4 canonical days and 7 fault
+    scenarios must reproduce every digest exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def captured(self):
+        spec = importlib.util.spec_from_file_location(
+            "capture_fingerprints", DATA_DIR / "capture_fingerprints.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.capture()
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return json.loads(
+            (DATA_DIR / "engine_fingerprints.json").read_text()
+        )
+
+    def test_covers_canonical_days_and_fault_scenarios(self, reference):
+        days = [k for k in reference if k.startswith("canonical-day")]
+        faults = [k for k in reference if k.startswith("fault-")]
+        assert len(days) == 4
+        assert len(faults) == 7
+
+    def test_bit_identical_to_reference(self, captured, reference):
+        assert set(captured) == set(reference)
+        mismatched = [k for k in reference if captured[k] != reference[k]]
+        assert not mismatched, (
+            f"engine drifted on {mismatched}; if the change is an "
+            "intentional semantic fix, regenerate the reference with "
+            "tests/data/capture_fingerprints.py"
+        )
+
+
+# ----------------------------------------------------------------------
+# Offline-artifact disk cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_roundtrip_and_info(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("policy", "deadbeef") is None
+        cache.put("policy", "deadbeef", {"weights": [1, 2, 3]})
+        assert cache.get("policy", "deadbeef") == {"weights": [1, 2, 3]}
+        info = cache.info()
+        assert info["kinds"]["policy"]["entries"] == 1
+        assert cache.clear() == 1
+        assert cache.get("policy", "deadbeef") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("policy", "abc", [1, 2])
+        cache.path_for("policy", "abc").write_bytes(b"not a pickle")
+        assert cache.get("policy", "abc") is None
+        assert not cache.path_for("policy", "abc").exists()
+
+    def test_hash_key_is_stable_and_sensitive(self):
+        base = {"graph": "WAM", "epochs": 5, "arr": np.arange(3)}
+        assert hash_key(base) == hash_key(dict(base))
+        assert hash_key(base) != hash_key({**base, "epochs": 6})
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert cache_enabled()
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == Path("/tmp/somewhere")
+
+    def test_cache_hit_equals_cold_train(self, tmp_path):
+        """A disk-cache hit returns the exact trained artifact."""
+        graph = paper_benchmarks()["WAM"]
+        pipe = OfflinePipeline(graph, finetune_epochs=5)
+        trace = synthetic_trace(_timeline(2), seed=7)
+        cache = ArtifactCache(tmp_path)
+        cold = pipe.run(trace, cache=cache)
+        hit = pipe.run(trace, cache=cache)
+        assert cache.info()["kinds"]["policy"]["entries"] == 1
+        assert pickle.dumps(hit.dbn) == pickle.dumps(cold.dbn)
+        assert hit.capacitors == cold.capacitors
+        # A different configuration misses (key sensitivity).
+        other = OfflinePipeline(graph, finetune_epochs=6)
+        assert other.cache_key(trace) != pipe.cache_key(trace)
+
+
+# ----------------------------------------------------------------------
+# Parallel runner determinism
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+class TestParallelRunner:
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_order_preserved(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, n_workers=4) == [
+            x * x for x in items
+        ]
+
+    def test_serial_and_parallel_fingerprints_match(self):
+        """n_workers=1 and n_workers=4 must be bit-identical, 3 seeds."""
+        graph = paper_benchmarks()["WAM"]
+        policy = _tiny_policy(graph)
+        for seed in (1, 2, 3):
+            trace = synthetic_trace(_timeline(1), seed=seed)
+            serial = evaluation_suite(graph, trace, policy, n_workers=1)
+            parallel = evaluation_suite(graph, trace, policy, n_workers=4)
+            assert set(serial) == set(parallel)
+            for name in serial:
+                assert result_fingerprint(serial[name]) == (
+                    result_fingerprint(parallel[name])
+                ), f"seed {seed}, scheduler {name}"
+
+
+# ----------------------------------------------------------------------
+# Vectorized LUT lookup vs the scalar reference
+# ----------------------------------------------------------------------
+def _scalar_query(table, dmr_target, solar_slots, cap_index, voltage,
+                  feasible_only=True):
+    """The pre-vectorization linear-scan implementation, verbatim."""
+    solar_class = table.classify_solar(solar_slots)
+    candidates = [
+        e for e in table.entries
+        if e.solar_class == solar_class and e.cap_index == cap_index
+    ]
+    if feasible_only:
+        feasible = [e for e in candidates if e.feasible]
+        candidates = feasible or candidates
+    if not candidates:
+        return None
+    voltages = sorted({e.voltage for e in candidates})
+    nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+    at_v = [e for e in candidates if e.voltage == nearest_v]
+    return min(at_v, key=lambda e: abs(e.dmr - dmr_target))
+
+
+def _scalar_best_for_budget(table, solar_slots, cap_index, voltage,
+                            energy_budget):
+    solar_class = table.classify_solar(solar_slots)
+    candidates = [
+        e for e in table.entries
+        if e.solar_class == solar_class
+        and e.cap_index == cap_index
+        and e.feasible
+        and e.consumed_energy <= energy_budget + 1e-9
+    ]
+    if not candidates:
+        return None
+    voltages = sorted({e.voltage for e in candidates})
+    nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+    at_v = [e for e in candidates if e.voltage == nearest_v]
+    return min(at_v, key=lambda e: (e.dmr, e.consumed_energy))
+
+
+class TestVectorizedLUT:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.core.lut import LookupTable
+
+        graph = paper_benchmarks()["WAM"]
+        timeline = _timeline(2)
+        policy_caps = _tiny_policy(graph).capacitors
+        trace = synthetic_trace(timeline, seed=11)
+        periods = trace.power.reshape(-1, timeline.slots_per_period)
+        return LookupTable(
+            graph, timeline, policy_caps, num_solar_classes=4
+        ).build(periods)
+
+    def test_query_matches_scalar_scan(self, table):
+        rng = np.random.default_rng(0)
+        slots = table.timeline.slots_per_period
+        for _ in range(60):
+            solar = rng.uniform(0.0, 0.2, size=slots)
+            cap = int(rng.integers(len(table.capacitors)))
+            volt = float(rng.uniform(0.0, 6.0))
+            dmr = float(rng.uniform(0.0, 1.0))
+            feas = bool(rng.integers(2))
+            assert table.query(dmr, solar, cap, volt, feas) is (
+                _scalar_query(table, dmr, solar, cap, volt, feas)
+            )
+
+    def test_best_for_budget_matches_scalar_scan(self, table):
+        rng = np.random.default_rng(1)
+        slots = table.timeline.slots_per_period
+        for _ in range(60):
+            solar = rng.uniform(0.0, 0.2, size=slots)
+            cap = int(rng.integers(len(table.capacitors)))
+            volt = float(rng.uniform(0.0, 6.0))
+            budget = float(rng.uniform(0.0, 50.0))
+            assert table.best_for_budget(solar, cap, volt, budget) is (
+                _scalar_best_for_budget(table, solar, cap, volt, budget)
+            )
+
+
+# ----------------------------------------------------------------------
+# Buffered JSONL sink
+# ----------------------------------------------------------------------
+class TestBufferedJsonlSink:
+    def test_batches_then_drains_on_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, buffer_records=4)
+        for i in range(3):
+            sink.write({"kind": "slot", "i": i})
+        sink._fh.flush()  # only the OS-level handle, not the batch
+        assert path.read_text() == ""  # still buffered
+        sink.write({"kind": "slot", "i": 3})  # 4th record: batch drains
+        sink.flush()
+        assert len(read_jsonl(path)) == 4
+        sink.write({"kind": "slot", "i": 4})
+        sink.close()
+        records = read_jsonl(path)
+        assert [r["i"] for r in records] == [0, 1, 2, 3, 4]
+
+    def test_checkpoint_flushes_buffered_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, buffer_records=10_000)
+        observer = Observer(sinks=[sink])
+        observer.set_time(0, 0)
+        observer.deadline_miss((1, 2))
+        observer.checkpoint_saved(str(tmp_path / "ck.pkl"), 1)
+        kinds = [r["kind"] for r in read_jsonl(path)]
+        assert "deadline_miss" in kinds
+        assert "checkpoint" in kinds
+        observer.close()
+
+    def test_rejects_bad_buffer_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", buffer_records=0)
