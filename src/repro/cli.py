@@ -24,6 +24,12 @@ Commands
 ``cache``
     Offline-artifact cache utilities: ``cache info`` shows the entry
     counts and sizes, ``cache clear`` removes cached artifacts.
+``verify``
+    Run the conformance suite (physics invariants, differential
+    oracles, metamorphic relations) at ``--level smoke|quick|deep``;
+    exits 6 with a violation summary when a check fails.
+    ``--update-fingerprints`` regenerates the committed engine
+    reference digests instead of verifying.
 
 A global ``--log-level`` (default WARNING) configures stdlib logging
 for every command.  ``experiment --workers N`` fans independent
@@ -249,6 +255,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache_clear.add_argument(
         "--kind", metavar="KIND",
         help="only clear one artifact kind (e.g. policy)",
+    )
+
+    verify = commands.add_parser(
+        "verify", help="run the conformance suite (invariants + oracles)"
+    )
+    verify.add_argument(
+        "--level", default="quick", choices=("smoke", "quick", "deep"),
+        help="depth: smoke (seconds), quick (the CI gate: canonical "
+        "days + fault scenarios), deep (adds randomized sweeps)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the randomized extras (default 0); the "
+        "canonical matrix is deterministic",
+    )
+    verify.add_argument(
+        "--json", metavar="PATH",
+        help="also write the full structured report as JSON to PATH",
+    )
+    verify.add_argument(
+        "--fingerprints", metavar="PATH",
+        help="reference fingerprint file (default: the committed "
+        "tests/data/engine_fingerprints.json)",
+    )
+    verify.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="regenerate the reference fingerprints instead of "
+        "verifying (do this only after an intentional semantic change)",
+    )
+    verify.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-check progress lines",
     )
     return parser
 
@@ -498,6 +536,41 @@ def _cmd_cache(args, out) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _cmd_verify(args, out) -> int:
+    from .verify import run_verification, write_reference_fingerprints
+
+    if args.update_fingerprints:
+        path, fingerprints = write_reference_fingerprints(
+            args.fingerprints
+        )
+        print(
+            f"captured {len(fingerprints)} reference fingerprint(s) "
+            f"to {path}",
+            file=out,
+        )
+        return 0
+
+    log = None if args.quiet else (lambda m: print(f"  {m}", file=out))
+    t0 = time.perf_counter()
+    report = run_verification(
+        level=args.level,
+        seed=args.seed,
+        log=log,
+        fingerprint_path=args.fingerprints,
+    )
+    wall = time.perf_counter() - t0
+    print(report.render(), file=out)
+    print(f"({wall:.1f}s)", file=out)
+    if args.json:
+        from pathlib import Path
+
+        payload = report.to_dict()
+        payload["wall_time_s"] = wall
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report: {args.json}", file=out)
+    return 0 if report.ok else 6
+
+
 def _cmd_export(args, out) -> int:
     trace = _trace(args.days, args.seed)
     write_midc_csv(args.out, trace)
@@ -529,6 +602,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "cache":
             return _cmd_cache(args, out)
+        if args.command == "verify":
+            return _cmd_verify(args, out)
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early: exit quietly
         # the way well-behaved Unix tools do.
@@ -539,7 +614,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
     # One-line errors with distinct exit codes: 2 = bad input/data,
     # 3 = checkpoint mismatch/corruption, 4 = simulation failure,
-    # 5 = perf regression (returned directly by _cmd_bench).
+    # 5 = perf regression (returned directly by _cmd_bench),
+    # 6 = verification failure (returned directly by _cmd_verify).
     except (MIDCFormatError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -284,3 +284,66 @@ class LookupTable:
             (cols["consumed_energy"][at_v], cols["dmr"][at_v])
         )
         return self.entries[int(at_v[order[0]])]
+
+    # ------------------------------------------------------------------
+    # Linear-scan references.  These are the pre-vectorization
+    # implementations kept verbatim as differential oracles: any input
+    # must produce the *same entry object* from the scan and the
+    # vectorized path (see repro.verify.oracles.oracle_lut_vs_scan).
+    # ------------------------------------------------------------------
+    def query_scan(
+        self,
+        dmr_target: float,
+        solar_slots: np.ndarray,
+        cap_index: int,
+        voltage: float,
+        feasible_only: bool = True,
+    ) -> Optional[LUTEntry]:
+        """Exhaustive-scan twin of :meth:`query`."""
+        if self.centroids is None:
+            raise RuntimeError("LUT not built; call build() first")
+        if not 0 <= cap_index < len(self.capacitors):
+            raise IndexError(f"cap_index {cap_index} out of range")
+        solar_class = self.classify_solar(solar_slots)
+        candidates = [
+            e for e in self.entries
+            if e.solar_class == solar_class and e.cap_index == cap_index
+        ]
+        if feasible_only:
+            feasible = [e for e in candidates if e.feasible]
+            candidates = feasible or candidates
+        if not candidates:
+            return None
+        voltages = sorted({e.voltage for e in candidates})
+        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+        at_v = [e for e in candidates if e.voltage == nearest_v]
+        return min(at_v, key=lambda e: abs(e.dmr - dmr_target))
+
+    def best_for_budget_scan(
+        self,
+        solar_slots: np.ndarray,
+        cap_index: int,
+        voltage: float,
+        energy_budget: float,
+    ) -> Optional[LUTEntry]:
+        """Exhaustive-scan twin of :meth:`best_for_budget`."""
+        if energy_budget < 0:
+            raise ValueError(
+                f"energy_budget must be >= 0, got {energy_budget}"
+            )
+        if self.centroids is None:
+            raise RuntimeError("LUT not built; call build() first")
+        solar_class = self.classify_solar(solar_slots)
+        candidates = [
+            e for e in self.entries
+            if e.solar_class == solar_class
+            and e.cap_index == cap_index
+            and e.feasible
+            and e.consumed_energy <= energy_budget + 1e-9
+        ]
+        if not candidates:
+            return None
+        voltages = sorted({e.voltage for e in candidates})
+        nearest_v = min(voltages, key=lambda v: abs(v - voltage))
+        at_v = [e for e in candidates if e.voltage == nearest_v]
+        return min(at_v, key=lambda e: (e.dmr, e.consumed_energy))

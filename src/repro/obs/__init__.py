@@ -34,6 +34,7 @@ from .events import (
     Event,
     FaultInjectionEvent,
     FaultScenarioEvent,
+    InvariantViolationEvent,
     NULL_OBSERVER,
     Observer,
     PeriodEndEvent,
@@ -71,6 +72,7 @@ __all__ = [
     "PolicyFallbackEvent",
     "FaultScenarioEvent",
     "CheckpointEvent",
+    "InvariantViolationEvent",
     "Observer",
     "NULL_OBSERVER",
     "Counter",

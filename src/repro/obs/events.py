@@ -36,6 +36,7 @@ __all__ = [
     "PolicyFallbackEvent",
     "FaultScenarioEvent",
     "CheckpointEvent",
+    "InvariantViolationEvent",
     "Observer",
     "NULL_OBSERVER",
 ]
@@ -201,6 +202,23 @@ class CheckpointEvent(Event):
 
     path: str
     flat_period: int
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolationEvent(Event):
+    """An online invariant monitor flagged a physics/accounting breach.
+
+    Emitted through the engine's ``monitors`` hook (see
+    :mod:`repro.verify.invariants`); ``severity`` is ``error`` or
+    ``warning`` with the semantics of
+    :class:`~repro.verify.report.Violation`.
+    """
+
+    kind = "invariant_violation"
+
+    check: str
+    message: str
+    severity: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -449,6 +467,23 @@ class Observer:
                 scenario=str(scenario),
                 faults=tuple(str(f) for f in faults),
                 lost_energy_fraction=float(lost_energy_fraction),
+            )
+        )
+
+    def invariant_violation(
+        self, check: str, message: str, severity: str = "error"
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("invariant_violations_total").inc()
+        self.emit(
+            InvariantViolationEvent(
+                day=self.day,
+                period=self.period,
+                slot=-1,
+                check=check,
+                message=message,
+                severity=severity,
             )
         )
 

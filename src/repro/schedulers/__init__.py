@@ -10,6 +10,7 @@ from .lsa import InterTaskScheduler, admit_by_energy
 from .intratask import IntraTaskScheduler, best_power_match
 from .dvfs import DVFSLoadMatchingScheduler
 from .plan import PlanScheduler, SchedulePlan
+from .randomized import RandomScheduler
 
 __all__ = [
     "Scheduler",
@@ -24,5 +25,6 @@ __all__ = [
     "IntraTaskScheduler",
     "best_power_match",
     "PlanScheduler",
+    "RandomScheduler",
     "SchedulePlan",
 ]

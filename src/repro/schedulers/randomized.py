@@ -1,0 +1,37 @@
+"""A legal-but-arbitrary randomized policy.
+
+Used as chaos fodder by the verification layer and the property-based
+test suite: whatever a :class:`RandomScheduler` decides, the engine's
+physical and accounting invariants must hold.  It is also a useful
+floor baseline — any purposeful policy should beat it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Scheduler
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Every slot: a random subset of the ready set, at most one task
+    per NVP.  Seeded, so runs are reproducible."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def on_slot(self, view):
+        chosen = []
+        used = set()
+        for task in view.ready:
+            if self.rng.random() < 0.5:
+                nvp = view.graph.nvp_of(task)
+                if nvp not in used:
+                    used.add(nvp)
+                    chosen.append(task)
+        return chosen

@@ -139,12 +139,16 @@ def run_fingerprint(timeline, graph, trace, scheduler_name: str) -> str:
     return h.hexdigest()
 
 
-def result_fingerprint(result) -> str:
+def result_fingerprint(result, include_slots: bool = True) -> str:
     """Digest of everything a :class:`SimulationResult` records.
 
     Bit-identity oracle for resume-equivalence checks: two results
     with equal fingerprints have identical per-period DMRs, energy
-    books and executed sets.
+    books and executed sets.  ``include_slots=False`` digests the
+    period records only, so a run captured with ``record_slots=True``
+    can be compared against a reference captured without it (the
+    per-slot arrays are derived observations; period records do not
+    depend on them).
     """
     h = hashlib.sha256()
     for p in result.periods:
@@ -169,7 +173,7 @@ def result_fingerprint(result) -> str:
         )
         h.update(np.ascontiguousarray(p.executed).tobytes())
         h.update(np.ascontiguousarray(p.start_voltages).tobytes())
-    if result.slots is not None:
+    if include_slots and result.slots is not None:
         for name in (
             "solar_power",
             "load_power",

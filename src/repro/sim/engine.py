@@ -89,6 +89,13 @@ class SimulationEngine:
         Optional :class:`~repro.sim.checkpoint.CheckpointConfig`;
         when given, the run's mutable state is serialized at period
         boundaries so a crashed run can resume bit-identically.
+    monitors:
+        Online invariant monitors (see
+        :class:`~repro.verify.invariants.InvariantMonitor`): objects
+        with ``on_period(record)`` and ``on_finish(result)`` returning
+        violations, which are re-emitted as ``invariant_violation``
+        events when an observer is attached.  Monitors only read the
+        period records, so they never perturb the simulation.
     """
 
     def __init__(
@@ -102,6 +109,7 @@ class SimulationEngine:
         observer: Optional[Observer] = None,
         fault_injector=None,
         checkpoint: Optional[CheckpointConfig] = None,
+        monitors: Sequence = (),
     ) -> None:
         if graph.num_nvps > node.num_nvps:
             raise ValueError(
@@ -118,6 +126,7 @@ class SimulationEngine:
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.fault_injector = fault_injector
         self.checkpoint = checkpoint
+        self.monitors = tuple(monitors)
 
     # ------------------------------------------------------------------
     def _bank_view(self) -> BankView:
@@ -476,6 +485,14 @@ class SimulationEngine:
                 active_index=active_at_start,
             )
             period_records.append(record)
+            for mon in self.monitors:
+                for violation in mon.on_period(record):
+                    if active:
+                        obs.invariant_violation(
+                            check=violation.check,
+                            message=violation.message,
+                            severity=violation.severity,
+                        )
             if active:
                 obs.period_end(
                     dmr=dmr,
@@ -532,6 +549,14 @@ class SimulationEngine:
             periods=period_records,
             slots=slot_arrays,
         )
+        for mon in self.monitors:
+            for violation in mon.on_finish(result):
+                if active:
+                    obs.invariant_violation(
+                        check=violation.check,
+                        message=violation.message,
+                        severity=violation.severity,
+                    )
         if active:
             obs.finish(result.summary(), scheduler=result.scheduler_name)
         return result
@@ -637,6 +662,7 @@ def simulate(
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[Union[str, Path]] = None,
     stop_after_periods: Optional[int] = None,
+    monitors: Sequence = (),
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     return SimulationEngine(
@@ -649,4 +675,5 @@ def simulate(
         observer=observer,
         fault_injector=fault_injector,
         checkpoint=checkpoint,
+        monitors=monitors,
     ).run(resume_from=resume_from, stop_after_periods=stop_after_periods)

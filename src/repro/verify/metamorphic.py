@@ -1,0 +1,169 @@
+"""Metamorphic relations: how outputs must move when inputs move.
+
+No oracle knows the *correct* DMR for an arbitrary day, but physics
+pins down the *direction* of change:
+
+``more-sun-never-hurts``
+    Scaling irradiance up (here: raising a constant trace) never
+    increases the deadline miss rate under a work-conserving greedy
+    policy (more energy in, no new constraints).
+``capacity-never-hurts``
+    Adding a capacitor to the bank never worsens the best-achievable
+    DMR found by the long-term DP — the old single-capacitor policy is
+    still in the enlarged feasible set (paper Fig. 9 direction).
+``permutation-invariance``
+    Permuting the declaration order of identical, equal-priority tasks
+    on distinct NVPs preserves the per-period miss count (schedulers
+    may pick different-but-isomorphic task subsets; the objective may
+    not change).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional, Sequence
+
+from .. import quick_node
+from ..core import DPConfig, LongTermOptimizer
+from ..energy.capacitor import SuperCapacitor
+from ..schedulers import GreedyEDFScheduler
+from ..sim.engine import simulate
+from ..tasks import TaskGraph, ecg
+from ..timeline import Timeline
+from .report import CheckOutcome, Violation
+from .strategies import constant_trace, identical_task_graph, solar_matrix
+
+__all__ = [
+    "relation_irradiance_monotonicity",
+    "relation_capacity_monotonicity",
+    "relation_task_permutation",
+    "METAMORPHIC_RELATIONS",
+    "verify_metamorphic",
+]
+
+
+def relation_irradiance_monotonicity(
+    graph: Optional[TaskGraph] = None,
+    base_powers: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    boost: float = 0.3,
+    periods_per_day: int = 3,
+) -> CheckOutcome:
+    """Raising a constant irradiance level must never increase DMR."""
+    out = CheckOutcome(name="metamorphic/more-sun-never-hurts")
+    graph = graph if graph is not None else ecg()
+    tl = Timeline(1, periods_per_day, 20, 30.0)
+    for power in base_powers:
+        dim = simulate(
+            quick_node(graph), graph, constant_trace(tl, power),
+            GreedyEDFScheduler(), strict=False,
+        ).dmr
+        bright = simulate(
+            quick_node(graph), graph, constant_trace(tl, power + boost),
+            GreedyEDFScheduler(), strict=False,
+        ).dmr
+        out.checked += 1
+        if bright > dim + 1e-9:
+            out.violations.append(
+                Violation(
+                    check=out.name,
+                    message=(
+                        f"raising constant irradiance {power} -> "
+                        f"{power + boost} increased DMR {dim!r} -> "
+                        f"{bright!r}"
+                    ),
+                    details={"power": power, "dim": dim, "bright": bright},
+                )
+            )
+    return out
+
+
+def relation_capacity_monotonicity(
+    graph: Optional[TaskGraph] = None,
+    tolerance: float = 0.02,
+    energy_buckets: int = 61,
+) -> CheckOutcome:
+    """A superset bank's DP optimum can't be (materially) worse.
+
+    The DP discretizes storage onto ``energy_buckets`` levels, so the
+    containment argument holds only up to one bucket of slack —
+    ``tolerance`` mirrors the documented grid-resolution bound.
+    """
+    out = CheckOutcome(name="metamorphic/capacity-never-hurts")
+    graph = graph if graph is not None else ecg()
+    tl = Timeline(2, 12, 20, 30.0)
+    matrix = solar_matrix(tl, "diurnal")
+
+    def best_dmr(farads: Sequence[float]) -> float:
+        caps = [SuperCapacitor(capacitance=c) for c in farads]
+        opt = LongTermOptimizer(
+            graph, tl, caps, config=DPConfig(energy_buckets=energy_buckets)
+        )
+        return opt.optimize(matrix).expected_dmr
+
+    small = best_dmr([10.0])
+    large = best_dmr([10.0, 1.0])
+    out.checked = 1
+    if large > small + tolerance:
+        out.violations.append(
+            Violation(
+                check=out.name,
+                message=(
+                    f"adding a capacitor worsened the DP optimum "
+                    f"{small!r} -> {large!r} beyond the grid tolerance "
+                    f"{tolerance}"
+                ),
+                details={"small": small, "large": large},
+            )
+        )
+    return out
+
+
+def relation_task_permutation(
+    num_tasks: int = 3,
+    periods_per_day: int = 2,
+    solar_power: float = 0.04,
+    max_orders: int = 6,
+) -> CheckOutcome:
+    """Reordering identical equal-priority tasks preserves miss counts."""
+    out = CheckOutcome(name="metamorphic/permutation-invariance")
+    base = identical_task_graph(num_tasks=num_tasks)
+    tl = Timeline(1, periods_per_day, 20, 30.0)
+    trace = constant_trace(tl, solar_power)
+
+    reference = None
+    for count, order in enumerate(permutations(range(num_tasks))):
+        if count >= max_orders:
+            break
+        graph = TaskGraph([base.tasks[i] for i in order])
+        result = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False,
+        )
+        misses = tuple(int(r.miss_count) for r in result.periods)
+        out.checked += 1
+        if reference is None:
+            reference = misses
+        elif misses != reference:
+            out.violations.append(
+                Violation(
+                    check=out.name,
+                    message=(
+                        f"task order {order} changed per-period miss "
+                        f"counts {reference} -> {misses}"
+                    ),
+                    details={"order": list(order)},
+                )
+            )
+    return out
+
+
+METAMORPHIC_RELATIONS = {
+    "more-sun-never-hurts": relation_irradiance_monotonicity,
+    "capacity-never-hurts": relation_capacity_monotonicity,
+    "permutation-invariance": relation_task_permutation,
+}
+
+
+def verify_metamorphic() -> list:
+    """Run every relation with default arguments."""
+    return [fn() for fn in METAMORPHIC_RELATIONS.values()]

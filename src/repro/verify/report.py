@@ -1,0 +1,166 @@
+"""Structured verification results.
+
+Every checker in :mod:`repro.verify` — invariants, differential
+oracles, metamorphic relations — reports through the same two shapes:
+a :class:`Violation` pinpoints one broken expectation (with the
+simulation clock when known), and a :class:`CheckOutcome` aggregates
+one check's violations over however many periods/cases it inspected.
+A :class:`VerificationReport` collects outcomes across a whole
+``repro verify`` run and renders the summary the CLI prints (and the
+JSON it can write).
+
+Severity semantics: ``error`` violations fail the run (CLI exit
+code 6); ``warning`` violations are surfaced but do not flip
+:attr:`VerificationReport.ok` — used for soft expectations such as
+DP optimality on randomly generated instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping
+
+__all__ = ["Violation", "CheckOutcome", "VerificationReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One broken expectation, located as precisely as possible."""
+
+    check: str
+    message: str
+    severity: str = "error"
+    day: int = -1
+    period: int = -1
+    slot: int = -1
+    details: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("error", "warning"):
+            raise ValueError(
+                f"severity must be 'error' or 'warning', got "
+                f"{self.severity!r}"
+            )
+
+    def location(self) -> str:
+        """``d0 p12 s5``-style clock stamp (empty for run-level)."""
+        parts = []
+        if self.day >= 0:
+            parts.append(f"d{self.day}")
+        if self.period >= 0:
+            parts.append(f"p{self.period}")
+        if self.slot >= 0:
+            parts.append(f"s{self.slot}")
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        rec = dataclasses.asdict(self)
+        rec["details"] = dict(self.details)
+        return rec
+
+
+@dataclasses.dataclass
+class CheckOutcome:
+    """One check's verdict over one subject (a run, a table, a case)."""
+
+    name: str
+    subject: str = ""
+    violations: List[Violation] = dataclasses.field(default_factory=list)
+    checked: int = 0  # units inspected: periods, slots, queries, cases
+    notes: str = ""
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "subject": self.subject,
+            "passed": self.passed,
+            "checked": self.checked,
+            "notes": self.notes,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class VerificationReport:
+    """All outcomes of one verification run, renderable and JSON-able."""
+
+    def __init__(self, level: str = "", seed: int = 0) -> None:
+        self.level = level
+        self.seed = seed
+        self.outcomes: List[CheckOutcome] = []
+
+    def add(self, outcome: CheckOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def extend(self, outcomes: Iterable[CheckOutcome]) -> None:
+        for outcome in outcomes:
+            self.add(outcome)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when no check produced an ``error`` violation."""
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return [v for o in self.outcomes for v in o.violations]
+
+    @property
+    def error_count(self) -> int:
+        return sum(len(o.errors) for o in self.outcomes)
+
+    def failed_outcomes(self) -> List[CheckOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "seed": self.seed,
+            "ok": self.ok,
+            "checks": len(self.outcomes),
+            "checks_failed": len(self.failed_outcomes()),
+            "violations": self.error_count,
+            "warnings": sum(
+                1 for v in self.violations if v.severity == "warning"
+            ),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    # ------------------------------------------------------------------
+    def render(self, max_violations: int = 20) -> str:
+        """Human-readable summary (what ``repro verify`` prints)."""
+        lines = [f"verification: level={self.level} seed={self.seed}"]
+        for o in self.outcomes:
+            status = "PASS" if o.passed else "FAIL"
+            subject = f" [{o.subject}]" if o.subject else ""
+            tail = f" ({o.checked} checked)" if o.checked else ""
+            if o.notes:
+                tail += f" — {o.notes}"
+            lines.append(f"  {status} {o.name}{subject}{tail}")
+        shown = 0
+        for v in self.violations:
+            if shown >= max_violations:
+                lines.append(
+                    f"  ... {len(self.violations) - shown} further "
+                    "violation(s) suppressed"
+                )
+                break
+            where = v.location()
+            where = f" @ {where}" if where else ""
+            lines.append(f"  {v.severity.upper()} {v.check}{where}: {v.message}")
+            shown += 1
+        passed = sum(1 for o in self.outcomes if o.passed)
+        verdict = "OK" if self.ok else "FAILED"
+        lines.append(
+            f"{verdict}: {passed}/{len(self.outcomes)} checks passed, "
+            f"{self.error_count} violation(s)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Shared workload/weather/fault generators for tests and verification.
+
+This module is the single source of the task-graph, solar-day,
+capacitor-bank and fault-plan generators that used to be copy-pasted
+across ``tests/test_dp_properties.py``, ``tests/test_property_engine.py``
+and ``tests/test_runtime_faults.py``.  The deterministic helpers at the
+top need only numpy; the ``hypothesis`` strategies below import
+hypothesis lazily so the production package never hard-depends on the
+test toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..reliability.runtime import FaultPlan
+from ..solar.days import FOUR_DAYS, archetype_trace
+from ..solar.trace import SolarTrace
+from ..tasks.benchmarks import random_benchmark
+from ..tasks.graph import Task, TaskGraph
+from ..timeline import Timeline
+
+__all__ = [
+    "tiny_timeline",
+    "tiny_env",
+    "solar_matrix",
+    "random_trace",
+    "constant_trace",
+    "identical_task_graph",
+    "task_graphs",
+    "solar_days",
+    "capacitor_banks",
+    "fault_plans",
+    "engine_setups",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic generators
+# ----------------------------------------------------------------------
+def tiny_timeline(
+    periods_per_day: int = 6,
+    num_days: int = 1,
+    slots_per_period: int = 20,
+    slot_seconds: float = 30.0,
+) -> Timeline:
+    """A short timeline for fast soak/roundtrip tests."""
+    return Timeline(
+        num_days=num_days,
+        periods_per_day=periods_per_day,
+        slots_per_period=slots_per_period,
+        slot_seconds=slot_seconds,
+    )
+
+
+def tiny_env(
+    seed: int = 3,
+    periods_per_day: int = 6,
+    graph: Optional[TaskGraph] = None,
+    archetype_index: int = 0,
+) -> Tuple[TaskGraph, Timeline, SolarTrace]:
+    """``(graph, timeline, trace)`` for a one-day micro run.
+
+    The default reproduces the fault-suite fixture: the ECG benchmark
+    over one canonical sunny-day archetype.
+    """
+    from ..tasks.benchmarks import ecg
+
+    graph = graph if graph is not None else ecg()
+    tl = tiny_timeline(periods_per_day=periods_per_day)
+    trace = archetype_trace(tl, [FOUR_DAYS[archetype_index]], seed=seed)
+    return graph, tl, trace
+
+
+def solar_matrix(
+    tl: Timeline, pattern: str = "diurnal", scale: float = 0.12
+) -> np.ndarray:
+    """Per-period solar matrix for the long-term DP (``diurnal`` or
+    ``flat``)."""
+    periods = tl.total_periods
+    if pattern == "diurnal":
+        shape = np.maximum(
+            np.sin(
+                np.linspace(
+                    0, 2 * np.pi * tl.num_days, periods, endpoint=False
+                )
+                - np.pi / 2
+            ),
+            0.0,
+        )
+    else:
+        shape = np.full(periods, 0.5)
+    return np.repeat((scale * shape)[:, None], tl.slots_per_period, axis=1)
+
+
+def random_trace(tl: Timeline, seed: int) -> SolarTrace:
+    """Uniform noise scaled by a randomly drawn overall brightness."""
+    rng = np.random.default_rng(seed)
+    power = rng.random(
+        (tl.num_days, tl.periods_per_day, tl.slots_per_period)
+    ) * rng.choice([0.0, 0.05, 0.15])
+    return SolarTrace(tl, power)
+
+
+def constant_trace(tl: Timeline, power: float) -> SolarTrace:
+    """Flat irradiance everywhere (metamorphic baselines)."""
+    return SolarTrace(
+        tl,
+        np.full(
+            (tl.num_days, tl.periods_per_day, tl.slots_per_period), power
+        ),
+    )
+
+
+def identical_task_graph(
+    num_tasks: int = 3,
+    execution_time: float = 120.0,
+    deadline: float = 360.0,
+    power: float = 0.03,
+) -> TaskGraph:
+    """``num_tasks`` identical, independent tasks on distinct NVPs —
+    the equal-priority workload of the permutation relation."""
+    return TaskGraph(
+        [
+            Task(f"t{i}", execution_time, deadline, power, nvp=i)
+            for i in range(num_tasks)
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies (lazy import)
+# ----------------------------------------------------------------------
+def _st():
+    try:
+        from hypothesis import strategies as st
+    except ImportError as exc:  # pragma: no cover - test-only dep
+        raise ImportError(
+            "hypothesis is required for repro.verify.strategies' "
+            "strategy builders (pip extra: repro[test])"
+        ) from exc
+    return st
+
+
+def task_graphs(max_seed: int = 300):
+    """Random benchmark task graphs (4-8 tasks, seeded)."""
+    st = _st()
+    return st.builds(random_benchmark, st.integers(0, max_seed))
+
+
+def solar_days(max_seed: int = 300, periods: Tuple[int, int] = (1, 3)):
+    """Random one-day traces on a tiny timeline."""
+    st = _st()
+
+    @st.composite
+    def _solar_days(draw):
+        n_periods = draw(st.integers(*periods))
+        tl = Timeline(1, n_periods, 20, 30.0)
+        return random_trace(tl, draw(st.integers(0, max_seed)))
+
+    return _solar_days()
+
+
+def capacitor_banks(max_size: int = 4):
+    """Banks of 1-``max_size`` supercapacitors with varied farads."""
+    st = _st()
+    from ..energy.capacitor import SuperCapacitor
+
+    return st.lists(
+        st.sampled_from([0.5, 1.0, 2.0, 4.7, 10.0, 47.0]),
+        min_size=1,
+        max_size=max_size,
+    ).map(lambda farads: tuple(SuperCapacitor(capacitance=c) for c in farads))
+
+
+def fault_plans(timeline: Optional[Timeline] = None, max_seed: int = 300):
+    """Seeded random fault plans over ``timeline`` (default tiny)."""
+    st = _st()
+    tl = timeline if timeline is not None else tiny_timeline()
+
+    @st.composite
+    def _fault_plans(draw):
+        return FaultPlan.generate(
+            tl,
+            seed=draw(st.integers(0, max_seed)),
+            dropouts_per_day=draw(st.floats(0.0, 30.0)),
+            leak_spikes_per_day=draw(st.floats(0.0, 15.0)),
+        )
+
+    return _fault_plans()
+
+
+def engine_setups(max_seed: int = 300):
+    """``(graph, timeline, trace, scheduler)`` tuples: random workload,
+    random weather and a legal-but-arbitrary random scheduler."""
+    st = _st()
+    from ..schedulers import RandomScheduler
+
+    @st.composite
+    def _engine_setups(draw):
+        graph_seed = draw(st.integers(0, max_seed))
+        trace_seed = draw(st.integers(0, max_seed))
+        sched_seed = draw(st.integers(0, max_seed))
+        periods = draw(st.integers(1, 3))
+        graph = random_benchmark(graph_seed)
+        tl = Timeline(1, periods, 20, 30.0)
+        return (
+            graph,
+            tl,
+            random_trace(tl, trace_seed),
+            RandomScheduler(sched_seed),
+        )
+
+    return _engine_setups()

@@ -1,64 +1,32 @@
-"""Regenerate tests/data/engine_fingerprints.json from the current engine.
+"""Regenerate the committed engine reference fingerprints.
 
-Run from the repo root::
+The capture itself lives in :mod:`repro.verify.oracles` (the same
+matrix ``repro verify`` checks at the ``quick`` level: the 4 canonical
+solar days under the intra-task scheduler and the 7 seeded runtime
+fault scenarios under the greedy baseline).  The supported way to
+refresh this file after an *intentional* semantic change is::
 
-    PYTHONPATH=src python tests/data/capture_fingerprints.py
+    PYTHONPATH=src python -m repro verify --update-fingerprints
 
-The stored digests pin the simulation results of the 4 canonical solar
-days and the 7 seeded runtime fault scenarios; the fast-path test suite
-replays the same runs and asserts bit-identity, so any numerical drift
-in the hot loop is caught immediately.
+Running this module directly does the same thing.  Never refresh to
+make a red CI green without understanding the engine change that moved
+the digests — that is exactly the drift these fingerprints exist to
+catch.
 """
 
-import json
-from pathlib import Path
-
-from repro import quick_node
-from repro.reliability import RUNTIME_SCENARIOS, FaultInjector, runtime_scenario
-from repro.schedulers import GreedyEDFScheduler, IntraTaskScheduler
-from repro.sim import result_fingerprint
-from repro.sim.engine import simulate
-from repro.solar import four_day_trace, synthetic_trace
-from repro.tasks import paper_benchmarks
-from repro.timeline import Timeline
+from repro.verify import (
+    capture_reference_fingerprints,
+    write_reference_fingerprints,
+)
 
 
-def _timeline(days):
-    return Timeline(
-        num_days=days, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
-    )
-
-
-def capture():
-    graph = paper_benchmarks()["WAM"]
-    fingerprints = {}
-
-    four = four_day_trace(_timeline(4))
-    for day in range(4):
-        trace = four.day_slice(day)
-        result = simulate(
-            quick_node(graph), graph, trace, IntraTaskScheduler(),
-            strict=False,
-        )
-        fingerprints[f"canonical-day{day + 1}/intra-task"] = (
-            result_fingerprint(result)
-        )
-
-    chaos_trace = synthetic_trace(_timeline(1), seed=3)
-    for scenario in sorted(RUNTIME_SCENARIOS):
-        plan = runtime_scenario(scenario, chaos_trace.timeline, seed=0)
-        injector = FaultInjector(plan, chaos_trace.timeline)
-        result = simulate(
-            quick_node(graph), graph, chaos_trace, GreedyEDFScheduler(),
-            strict=False, fault_injector=injector,
-        )
-        fingerprints[f"fault-{scenario}/asap"] = result_fingerprint(result)
-    return fingerprints
+def capture() -> dict:
+    """Fingerprint every reference run (kept for the test suite)."""
+    return capture_reference_fingerprints()
 
 
 if __name__ == "__main__":
-    fingerprints = capture()
-    out = Path(__file__).with_name("engine_fingerprints.json")
-    out.write_text(json.dumps(fingerprints, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(fingerprints)} fingerprints to {out}")
+    path, fingerprints = write_reference_fingerprints()
+    for key in sorted(fingerprints):
+        print(f"{key}: {fingerprints[key]}")
+    print(f"wrote {path}")

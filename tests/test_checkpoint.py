@@ -25,18 +25,12 @@ from repro.sim.checkpoint import (
     save_checkpoint,
 )
 from repro.solar import FOUR_DAYS, archetype_trace
-from repro.tasks import ecg, wam
-from repro.timeline import Timeline
+from repro.tasks import wam
+from repro.verify.strategies import tiny_env as _shared_tiny_env
 
 
 def tiny_env(seed=3):
-    graph = ecg()
-    tl = Timeline(
-        num_days=1, periods_per_day=8, slots_per_period=20,
-        slot_seconds=30.0,
-    )
-    trace = archetype_trace(tl, [FOUR_DAYS[0]], seed=seed)
-    return graph, tl, trace
+    return _shared_tiny_env(seed=seed, periods_per_day=8)
 
 
 def proposed_scheduler(graph, tl):
@@ -97,6 +91,46 @@ class TestResumeBitIdentity:
         self._roundtrip(
             proposed_scheduler, tmp_path,
             injector_factory=lambda: FaultInjector(plan, tl),
+        )
+
+    def test_resume_from_final_period_boundary(self, tmp_path):
+        """Stop at the last boundary a checkpoint can be written on;
+        the resumed run replays only the final period."""
+        graph, tl, trace = tiny_env()
+        last_boundary = tl.total_periods - 1
+        full = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, record_slots=True,
+        )
+        ck = CheckpointConfig(tmp_path, every_periods=2)
+        with pytest.raises(SimulationInterrupted) as stop:
+            simulate(
+                quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                strict=False, record_slots=True, checkpoint=ck,
+                stop_after_periods=last_boundary,
+            )
+        assert stop.value.periods_done == last_boundary
+        resumed = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, record_slots=True, checkpoint=ck,
+            resume_from=latest_checkpoint(ck.path),
+        )
+        assert result_fingerprint(resumed) == result_fingerprint(full)
+
+    def test_stop_at_or_past_end_completes_normally(self, tmp_path):
+        """stop_after_periods >= total_periods is not an interruption:
+        the run falls through to completion and no final-period
+        checkpoint is written."""
+        graph, tl, trace = tiny_env()
+        ck = CheckpointConfig(tmp_path, every_periods=3)
+        result = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False, checkpoint=ck,
+            stop_after_periods=tl.total_periods,
+        )
+        assert len(result.periods) == tl.total_periods
+        assert latest_checkpoint(ck.path) != checkpoint_path(
+            ck.path, tl.total_periods
         )
 
 
@@ -165,6 +199,27 @@ class TestCheckpointFiles:
         remaining = sorted(p.name for p in tmp_path.glob("*.ckpt"))
         assert remaining == ["period-000010.ckpt"]
 
+    def test_prune_protects_sole_checkpoint(self, tmp_path):
+        """A protected checkpoint survives pruning even when it is the
+        only file (and thus also the oldest-sorted candidate)."""
+        only = checkpoint_path(tmp_path, 4)
+        save_checkpoint(only, {"version": CHECKPOINT_VERSION})
+        prune_checkpoints(tmp_path, keep=1, protect=only)
+        assert only.is_file()
+
+    def test_prune_protects_lowest_sorted_checkpoint(self, tmp_path):
+        """The just-written checkpoint can sort *below* stale files
+        from an earlier, longer run; protection must still win."""
+        fresh = checkpoint_path(tmp_path, 2)
+        for flat in (2, 30, 40):
+            save_checkpoint(
+                checkpoint_path(tmp_path, flat),
+                {"version": CHECKPOINT_VERSION},
+            )
+        prune_checkpoints(tmp_path, keep=1, protect=fresh)
+        remaining = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+        assert remaining == ["period-000002.ckpt", "period-000040.ckpt"]
+
     def test_atomic_write_leaves_no_tmp(self, tmp_path):
         save_checkpoint(
             checkpoint_path(tmp_path, 1), {"version": CHECKPOINT_VERSION}
@@ -177,3 +232,46 @@ class TestCheckpointFiles:
         simulate(quick_node(graph), graph, trace, GreedyEDFScheduler(),
                  strict=False, checkpoint=ck)
         assert len(list(tmp_path.glob("*.ckpt"))) <= 2
+
+
+class TestCorruptedResumeCLI:
+    """A damaged checkpoint must surface as exit code 3, not a
+    traceback."""
+
+    def _interrupted_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--benchmark", "ECG", "--days", "1",
+            "--seed", "7", "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-every", "2", "--stop-after-periods", "2",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        path = latest_checkpoint(tmp_path)
+        assert path is not None
+        return path
+
+    def _resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "simulate", "--benchmark", "ECG", "--days", "1",
+            "--seed", "7", "--checkpoint-dir", str(tmp_path),
+            "--resume",
+        ])
+        return code, capsys.readouterr()
+
+    def test_truncated_checkpoint_exits_3(self, tmp_path, capsys):
+        path = self._interrupted_run(tmp_path, capsys)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        code, captured = self._resume(tmp_path, capsys)
+        assert code == 3
+        assert "checkpoint error" in captured.err
+
+    def test_garbage_checkpoint_exits_3(self, tmp_path, capsys):
+        path = self._interrupted_run(tmp_path, capsys)
+        path.write_bytes(b"\x00\x01 definitely not a pickle")
+        code, captured = self._resume(tmp_path, capsys)
+        assert code == 3
+        assert "checkpoint error" in captured.err

@@ -7,24 +7,7 @@ from repro.core import DPConfig, LongTermOptimizer
 from repro.energy import SuperCapacitor
 from repro.tasks import ecg
 from repro.timeline import Timeline
-
-
-def solar_matrix(tl, pattern="diurnal", scale=0.12):
-    periods = tl.total_periods
-    if pattern == "diurnal":
-        shape = np.maximum(
-            np.sin(
-                np.linspace(0, 2 * np.pi * tl.num_days, periods,
-                            endpoint=False)
-                - np.pi / 2
-            ),
-            0.0,
-        )
-    else:
-        shape = np.full(periods, 0.5)
-    return np.repeat(
-        (scale * shape)[:, None], tl.slots_per_period, axis=1
-    )
+from repro.verify.strategies import solar_matrix
 
 
 def optimize(caps, tl, matrix, buckets=61):

@@ -87,6 +87,27 @@ class TestEngineFingerprints:
 # ----------------------------------------------------------------------
 # Offline-artifact disk cache
 # ----------------------------------------------------------------------
+_RACE_BLOB = list(range(5000))
+
+
+def _race_write(arg):
+    """Hammer one cache key from a worker process.
+
+    Every read in the loop may race another worker's ``os.replace``;
+    the atomic-write contract says each read sees a *complete* payload
+    (any writer's) or nothing — never a torn file, which ``get`` would
+    report as a corruption-miss (``None``)."""
+    root, worker_id = arg
+    cache = ArtifactCache(Path(root))
+    for _ in range(25):
+        cache.put("policy", "contended", {"worker": worker_id,
+                                          "blob": _RACE_BLOB})
+        got = cache.get("policy", "contended")
+        if got is None or got["blob"] != _RACE_BLOB:
+            return False
+    return True
+
+
 class TestArtifactCache:
     def test_roundtrip_and_info(self, tmp_path):
         cache = ArtifactCache(tmp_path)
@@ -117,6 +138,48 @@ class TestArtifactCache:
         assert not cache_enabled()
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
         assert default_cache_dir() == Path("/tmp/somewhere")
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Writers racing the same key never corrupt it or leave
+        temp-file droppings (tmp-file + ``os.replace`` contract)."""
+        results = parallel_map(
+            _race_write,
+            [(str(tmp_path), i) for i in range(4)],
+            n_workers=4,
+        )
+        assert results == [True] * 4
+        final = ArtifactCache(tmp_path).get("policy", "contended")
+        assert final is not None and final["blob"] == _RACE_BLOB
+        assert list(tmp_path.rglob("*.tmp*")) == []
+
+    def test_no_cache_env_bypasses_reads_too(self, tmp_path, monkeypatch):
+        """``REPRO_NO_CACHE=1`` must skip cache *reads* as well as
+        writes: a poisoned disk entry under the exact training key is
+        never returned, and the run leaves the cache untouched."""
+        import repro.experiments.common as common
+        from repro.experiments.common import training_trace
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(common, "_policy_cache", {})
+        graph = paper_benchmarks()["WAM"]
+        pipe = OfflinePipeline(graph, num_capacitors=4, finetune_epochs=5)
+        digest = pipe.cache_key(training_trace(2))
+        poison = "poisoned-artifact"
+        ArtifactCache(tmp_path).put("policy", digest, poison)
+        # Sanity: with reads enabled the poison *is* what comes back,
+        # proving the digest above matches the training key.
+        assert train_policy(
+            graph, train_days=2, finetune_epochs=5, use_cache=True
+        ) == poison
+        common._policy_cache.clear()  # the poison got memoised too
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        policy = train_policy(graph, train_days=2, finetune_epochs=5)
+        assert not isinstance(policy, str)  # trained fresh, read skipped
+        # Write skipped too: the poisoned entry is still the only one.
+        assert ArtifactCache(tmp_path).get("policy", digest) == poison
+        assert [p.name for p in (tmp_path / "policy").iterdir()] == [
+            f"{digest}.pkl"
+        ]
 
     def test_cache_hit_equals_cold_train(self, tmp_path):
         """A disk-cache hit returns the exact trained artifact."""
@@ -176,44 +239,10 @@ class TestParallelRunner:
 # ----------------------------------------------------------------------
 # Vectorized LUT lookup vs the scalar reference
 # ----------------------------------------------------------------------
-def _scalar_query(table, dmr_target, solar_slots, cap_index, voltage,
-                  feasible_only=True):
-    """The pre-vectorization linear-scan implementation, verbatim."""
-    solar_class = table.classify_solar(solar_slots)
-    candidates = [
-        e for e in table.entries
-        if e.solar_class == solar_class and e.cap_index == cap_index
-    ]
-    if feasible_only:
-        feasible = [e for e in candidates if e.feasible]
-        candidates = feasible or candidates
-    if not candidates:
-        return None
-    voltages = sorted({e.voltage for e in candidates})
-    nearest_v = min(voltages, key=lambda v: abs(v - voltage))
-    at_v = [e for e in candidates if e.voltage == nearest_v]
-    return min(at_v, key=lambda e: abs(e.dmr - dmr_target))
-
-
-def _scalar_best_for_budget(table, solar_slots, cap_index, voltage,
-                            energy_budget):
-    solar_class = table.classify_solar(solar_slots)
-    candidates = [
-        e for e in table.entries
-        if e.solar_class == solar_class
-        and e.cap_index == cap_index
-        and e.feasible
-        and e.consumed_energy <= energy_budget + 1e-9
-    ]
-    if not candidates:
-        return None
-    voltages = sorted({e.voltage for e in candidates})
-    nearest_v = min(voltages, key=lambda v: abs(v - voltage))
-    at_v = [e for e in candidates if e.voltage == nearest_v]
-    return min(at_v, key=lambda e: (e.dmr, e.consumed_energy))
-
-
 class TestVectorizedLUT:
+    """The scalar reference scans now live on :class:`LookupTable`
+    itself (``query_scan`` / ``best_for_budget_scan``) so that both
+    this suite and ``repro verify`` exercise the same oracle."""
     @pytest.fixture(scope="class")
     def table(self):
         from repro.core.lut import LookupTable
@@ -237,7 +266,7 @@ class TestVectorizedLUT:
             dmr = float(rng.uniform(0.0, 1.0))
             feas = bool(rng.integers(2))
             assert table.query(dmr, solar, cap, volt, feas) is (
-                _scalar_query(table, dmr, solar, cap, volt, feas)
+                table.query_scan(dmr, solar, cap, volt, feas)
             )
 
     def test_best_for_budget_matches_scalar_scan(self, table):
@@ -249,7 +278,7 @@ class TestVectorizedLUT:
             volt = float(rng.uniform(0.0, 6.0))
             budget = float(rng.uniform(0.0, 50.0))
             assert table.best_for_budget(solar, cap, volt, budget) is (
-                _scalar_best_for_budget(table, solar, cap, volt, budget)
+                table.best_for_budget_scan(solar, cap, volt, budget)
             )
 
 

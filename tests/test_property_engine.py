@@ -2,58 +2,21 @@
 
 A randomised scheduler (any legal subset of the ready set each slot)
 run on random workloads and weather must never violate the physical
-and accounting invariants, whatever it decides.
+and accounting invariants, whatever it decides.  The generators live
+in :mod:`repro.verify.strategies`; the invariant assertions here go
+through the shared :func:`repro.verify.verify_run` suite so the tests
+and ``repro verify`` enforce exactly the same physics.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import quick_node, simulate
-from repro.schedulers import Scheduler
 from repro.solar import SolarTrace
 from repro.tasks import random_benchmark
 from repro.timeline import Timeline
-
-
-class RandomScheduler(Scheduler):
-    """Legal but arbitrary: every slot, a random subset of ready tasks
-    with at most one per NVP."""
-
-    name = "random"
-
-    def __init__(self, seed: int) -> None:
-        self.rng = np.random.default_rng(seed)
-
-    def on_slot(self, view):
-        chosen = []
-        used = set()
-        for task in view.ready:
-            if self.rng.random() < 0.5:
-                nvp = view.graph.nvp_of(task)
-                if nvp not in used:
-                    used.add(nvp)
-                    chosen.append(task)
-        return chosen
-
-
-def random_trace(tl: Timeline, seed: int) -> SolarTrace:
-    rng = np.random.default_rng(seed)
-    power = rng.random(
-        (tl.num_days, tl.periods_per_day, tl.slots_per_period)
-    ) * rng.choice([0.0, 0.05, 0.15])
-    return SolarTrace(tl, power)
-
-
-@st.composite
-def engine_setup(draw):
-    graph_seed = draw(st.integers(0, 300))
-    trace_seed = draw(st.integers(0, 300))
-    sched_seed = draw(st.integers(0, 300))
-    periods = draw(st.integers(1, 3))
-    graph = random_benchmark(graph_seed)
-    tl = Timeline(1, periods, 20, 30.0)
-    return graph, tl, random_trace(tl, trace_seed), RandomScheduler(sched_seed)
+from repro.verify import RunContext, verify_run
+from repro.verify.strategies import constant_trace, engine_setups
 
 
 @settings(
@@ -61,10 +24,11 @@ def engine_setup(draw):
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(engine_setup())
+@given(engine_setups())
 def test_engine_invariants_hold_for_any_legal_scheduler(setup):
     graph, tl, trace, scheduler = setup
     node = quick_node(graph)
+    v_full = max(s.capacitor.v_full for s in node.bank.states)
     result = simulate(node, graph, trace, scheduler, record_slots=True)
 
     # DMR is a proper rate everywhere.
@@ -72,33 +36,15 @@ def test_engine_invariants_hold_for_any_legal_scheduler(setup):
     assert np.all((series >= 0.0) & (series <= 1.0))
     assert 0.0 <= result.dmr <= 1.0
 
-    # Energy conservation: the load can never consume more than the
-    # harvest (storage only time-shifts, with losses).
-    assert result.total_load_energy <= result.total_solar_energy + 1e-6
-
-    # Per-period accounting: direct + storage = load; all flows >= 0.
-    for p in result.periods:
-        assert p.load_energy == pytest.approx(
-            p.direct_energy + p.storage_energy, abs=1e-9
-        )
-        assert p.solar_energy >= -1e-12
-        assert p.storage_energy >= -1e-12
-        assert p.charged_energy >= -1e-12
-        assert p.leakage_energy >= -1e-12
-        assert 0 <= p.miss_count <= len(graph)
-
-    # Physical voltage bounds in every recorded slot.
-    v = result.slots.active_voltage
-    v_full = max(s.capacitor.v_full for s in node.bank.states)
-    assert np.all(v >= -1e-9)
-    assert np.all(v <= v_full + 1e-6)
-
-    # Run fractions are fractions.
-    rf = result.slots.run_fraction
-    assert np.all((rf >= 0.0) & (rf <= 1.0 + 1e-9))
-
-    # Load power never exceeds the workload's physical maximum.
-    assert np.all(result.slots.load_power <= graph.max_power() + 1e-9)
+    # Energy conservation, per-period accounting, voltage bounds, run
+    # fractions and DMR bookkeeping: the full shared invariant suite.
+    outcomes = verify_run(
+        RunContext(result=result, graph=graph, v_max=v_full)
+    )
+    failed = [o for o in outcomes if not o.passed]
+    assert not failed, "\n".join(
+        f"{o.name}: {v.message}" for o in failed for v in o.errors
+    )
 
 
 @settings(
@@ -116,8 +62,8 @@ def test_abundance_monotonicity(graph_seed, power):
 
     graph = random_benchmark(graph_seed)
     tl = Timeline(1, 2, 20, 30.0)
-    lo = SolarTrace(tl, np.full((1, 2, 20), power))
-    hi = SolarTrace(tl, np.full((1, 2, 20), power + 0.3))
+    lo = constant_trace(tl, power)
+    hi = constant_trace(tl, power + 0.3)
     dmr_lo = simulate(quick_node(graph), graph, lo, GreedyEDFScheduler()).dmr
     dmr_hi = simulate(quick_node(graph), graph, hi, GreedyEDFScheduler()).dmr
     assert dmr_hi <= dmr_lo + 1e-9

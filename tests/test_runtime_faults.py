@@ -14,23 +14,7 @@ from repro.reliability import (
     runtime_scenario,
 )
 from repro.schedulers import GreedyEDFScheduler
-from repro.solar import FOUR_DAYS, SolarTrace, archetype_trace
-from repro.tasks import ecg
-from repro.timeline import Timeline
-
-
-def tiny_timeline():
-    return Timeline(
-        num_days=1, periods_per_day=6, slots_per_period=20,
-        slot_seconds=30.0,
-    )
-
-
-def tiny_env(seed=3):
-    graph = ecg()
-    tl = tiny_timeline()
-    trace = archetype_trace(tl, [FOUR_DAYS[0]], seed=seed)
-    return graph, tl, trace
+from repro.verify.strategies import tiny_env, tiny_timeline
 
 
 class TestFaultWindow:
