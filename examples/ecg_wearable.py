@@ -13,7 +13,10 @@ Section 4.1 sizing machinery step by step:
    how the achievable DMR responds (Figure 10(b)'s effect).
 
 Run:  python examples/ecg_wearable.py
+Fast: REPRO_EXAMPLE_FAST=1 python examples/ecg_wearable.py
 """
+
+import os
 
 import numpy as np
 
@@ -35,12 +38,15 @@ from repro.solar import four_day_trace, synthetic_trace
 from repro.tasks import ecg
 from repro.timeline import Timeline
 
+# Smoke-test knob: short history, coarse periods, fewer bank sizes.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     graph = ecg()
     timeline = Timeline(
-        num_days=12, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=3 if FAST else 12, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
     history = synthetic_trace(timeline, seed=99)
 
@@ -67,7 +73,7 @@ def main() -> None:
     # Step 3: bank cardinality vs achievable DMR on the 4-day test.
     print("\n=== bank size vs DMR (static optimal, 4 canonical days) ===")
     eval_trace = four_day_trace(timeline.with_days(4))
-    for h in (1, 2, 3, 4, 6):
+    for h in (1, 3) if FAST else (1, 2, 3, 4, 6):
         pipe = OfflinePipeline(graph, num_capacitors=h)
         capacitors = pipe.size_capacitors(history)
         optimizer = LongTermOptimizer(

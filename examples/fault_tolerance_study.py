@@ -9,9 +9,11 @@ DMR degrades — plus what a year of capacitor aging does to the sized
 bank.
 
 Run:  python examples/fault_tolerance_study.py
+Fast: REPRO_EXAMPLE_FAST=1 python examples/fault_tolerance_study.py
 """
 
 import dataclasses
+import os
 
 from repro import quick_node, simulate
 from repro.reliability import (
@@ -27,12 +29,15 @@ from repro.solar import four_day_trace
 from repro.tasks import wam
 from repro.timeline import Timeline
 
+# Smoke-test knob: coarse periods so the scenario matrix stays cheap.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     graph = wam()
     timeline = Timeline(
-        num_days=4, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=4, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
     trace = four_day_trace(timeline)
 

@@ -7,7 +7,10 @@ weather days, and prints their deadline miss rates — the smallest
 possible tour of the library's public API.
 
 Run:  python examples/quickstart.py
+Fast: REPRO_EXAMPLE_FAST=1 python examples/quickstart.py
 """
+
+import os
 
 from repro import quick_node, simulate
 from repro.schedulers import GreedyEDFScheduler, InterTaskScheduler, IntraTaskScheduler
@@ -15,12 +18,15 @@ from repro.solar import four_day_trace
 from repro.tasks import wam
 from repro.timeline import Timeline
 
+# Smoke-test knob: a coarse 24-period day instead of the paper's 144.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     # Time structure: 144 ten-minute periods per day, 30-second slots.
     timeline = Timeline(
-        num_days=4, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=4, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
 
     # The four representative weather days of the paper's Figure 7.

@@ -12,7 +12,10 @@ long-horizon aspects of the paper:
    balance point of Figure 10(a).
 
 Run:  python examples/structural_health.py
+Fast: REPRO_EXAMPLE_FAST=1 python examples/structural_health.py
 """
+
+import os
 
 import numpy as np
 
@@ -22,12 +25,15 @@ from repro.solar import EWMAPredictor, WCMAPredictor, synthetic_trace
 from repro.tasks import shm
 from repro.timeline import Timeline
 
+# Smoke-test knob: a shorter deployment on a coarser day, one horizon.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     graph = shm()
     timeline = Timeline(
-        num_days=14, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=9 if FAST else 14, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
     trace = synthetic_trace(timeline, seed=31)
 
@@ -61,7 +67,7 @@ def main() -> None:
     )
     sizes = ", ".join(f"{c.capacitance:g}F" for c in capacitors)
     print(f"  sized bank: [{sizes}]")
-    for hours in (6, 24, 48):
+    for hours in (24,) if FAST else (6, 24, 48):
         horizon = hours * timeline.periods_per_day // 24
         scheduler = RecedingHorizonScheduler(
             capacitors,

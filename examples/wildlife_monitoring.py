@@ -14,9 +14,11 @@ method of the paper:
 
 Run:  python examples/wildlife_monitoring.py            (fast, 4 days)
       python examples/wildlife_monitoring.py --days 30  (monthly)
+Fast: REPRO_EXAMPLE_FAST=1 python examples/wildlife_monitoring.py
 """
 
 import argparse
+import os
 
 from repro.core import (
     LongTermOptimizer,
@@ -30,6 +32,9 @@ from repro.solar import four_day_trace, synthetic_trace
 from repro.tasks import wam
 from repro.timeline import Timeline
 
+# Smoke-test knob: coarse periods, short training, tiny DBN budget.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -38,13 +43,14 @@ def main() -> None:
         help="evaluation days (4 = the paper's four canonical days; "
         "more = synthetic weather)",
     )
-    parser.add_argument("--train-days", type=int, default=12)
+    parser.add_argument("--train-days", type=int,
+                        default=2 if FAST else 12)
     args = parser.parse_args()
 
     graph = wam()
     timeline = Timeline(
-        num_days=args.days, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=args.days, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
 
     # ---------------------------------------------------------------- offline
@@ -52,7 +58,12 @@ def main() -> None:
     train_trace = synthetic_trace(
         timeline.with_days(args.train_days), seed=99
     )
-    pipeline = OfflinePipeline(graph, num_capacitors=4)
+    if FAST:
+        pipeline = OfflinePipeline(
+            graph, num_capacitors=4, pretrain_epochs=2, finetune_epochs=5,
+        )
+    else:
+        pipeline = OfflinePipeline(graph, num_capacitors=4)
     policy = pipeline.run(train_trace)
     sizes = ", ".join(f"{c.capacitance:g}F" for c in policy.capacitors)
     print(f"sized capacitor bank: [{sizes}]")

@@ -7,7 +7,10 @@ schedulers on a mixed-weather day — with bootstrap confidence
 intervals from :mod:`repro.analysis` so differences aren't over-read.
 
 Run:  python examples/workload_sweep.py
+Fast: REPRO_EXAMPLE_FAST=1 python examples/workload_sweep.py
 """
+
+import os
 
 import numpy as np
 
@@ -18,18 +21,21 @@ from repro.solar import FOUR_DAYS, archetype_trace
 from repro.tasks import STRUCTURES, WorkloadSpec, generate_workload
 from repro.timeline import Timeline
 
+# Smoke-test knob: coarse periods, fewer sweep points and seeds.
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
 
 def main() -> None:
     timeline = Timeline(
-        num_days=2, periods_per_day=144, slots_per_period=20,
-        slot_seconds=30.0,
+        num_days=2, periods_per_day=24 if FAST else 144,
+        slots_per_period=20, slot_seconds=30.0,
     )
     # One partly-cloudy and one broken-cloud day.
     trace = archetype_trace(timeline, [FOUR_DAYS[1], FOUR_DAYS[2]], seed=8)
 
     print("=== DMR vs power utilisation (layered DAG, 6 tasks) ===")
     print(f"{'utilisation':>12s} {'greedy':>8s} {'intra-task':>11s}")
-    for util in (0.2, 0.4, 0.6, 0.9, 1.2):
+    for util in (0.4, 0.9) if FAST else (0.2, 0.4, 0.6, 0.9, 1.2):
         spec = WorkloadSpec(
             num_tasks=6, utilization=util, structure="layered", num_nvps=2
         )
@@ -62,7 +68,7 @@ def main() -> None:
 
     print("\n=== seed variability (intra-task, utilisation 0.8) ===")
     dmrs = []
-    for seed in range(8):
+    for seed in range(3 if FAST else 8):
         spec = WorkloadSpec(num_tasks=6, utilization=0.8,
                             structure="layered", num_nvps=2)
         graph = generate_workload(spec, seed=seed)
@@ -72,7 +78,7 @@ def main() -> None:
         )
     estimate, low, high = bootstrap_ci(np.array(dmrs), seed=1)
     print(
-        f"  mean DMR over 8 generated workloads: {estimate:.3f} "
+        f"  mean DMR over {len(dmrs)} generated workloads: {estimate:.3f} "
         f"(95% CI [{low:.3f}, {high:.3f}])"
     )
 

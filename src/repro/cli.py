@@ -30,6 +30,12 @@ Commands
     exits 6 with a violation summary when a check fails.
     ``--update-fingerprints`` regenerates the committed engine
     reference digests instead of verifying.
+``fleet``
+    Fleet-scale simulation: ``fleet run --nodes N --seed S`` simulates
+    N heterogeneous nodes sharing one base solar trace and prints the
+    population report plus the deterministic aggregate fingerprint
+    (bit-identical for any ``--workers``/``--shard-size``);
+    ``fleet report result.json`` re-renders a saved ``--out`` file.
 
 A global ``--log-level`` (default WARNING) configures stdlib logging
 for every command.  ``experiment --workers N`` fans independent
@@ -69,6 +75,7 @@ from .sim import (
     latest_checkpoint,
     result_fingerprint,
 )
+from .fleet.spec import FLEET_POLICIES
 from .sim.engine import InvalidDecisionError, simulate
 from .solar import four_day_trace, synthetic_trace
 from .solar.dataset import MIDCFormatError, write_midc_csv
@@ -100,6 +107,7 @@ _EXPERIMENTS = (
     "fig10a",
     "fig10b",
     "overhead",
+    "fleet",
 )
 
 
@@ -288,6 +296,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-check progress lines",
     )
+
+    fleet = commands.add_parser(
+        "fleet", help="fleet-scale multi-node simulation"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate N heterogeneous nodes"
+    )
+    fleet_run.add_argument(
+        "--nodes", type=int, default=100, metavar="N",
+        help="fleet size (default 100)",
+    )
+    fleet_run.add_argument(
+        "--seed", type=int, default=0,
+        help="fleet seed: base weather + every per-node variation "
+        "(default 0)",
+    )
+    fleet_run.add_argument(
+        "--days", type=int, default=1,
+        help="simulated days per node (default 1)",
+    )
+    fleet_run.add_argument(
+        "--policies", metavar="P1,P2,...",
+        help="comma-separated scheduler/policy pool nodes draw from "
+        f"(subset of {','.join(sorted(FLEET_POLICIES))}; "
+        "default asap,inter-task,intra-task,random)",
+    )
+    fleet_run.add_argument(
+        "--workers", type=int, metavar="N",
+        help="process count for shard fan-out (default: serial, or "
+        "$REPRO_WORKERS); never changes the results",
+    )
+    fleet_run.add_argument(
+        "--shard-size", type=int, metavar="N",
+        help="nodes per work item (default 32); never changes the "
+        "results",
+    )
+    fleet_run.add_argument(
+        "--no-cache", action="store_true",
+        help="skip shard checkpoints and the offline-artifact cache",
+    )
+    fleet_run.add_argument(
+        "--out", metavar="PATH",
+        help="write the full fleet result (per-node summaries + "
+        "aggregates) as JSON to PATH",
+    )
+    fleet_run.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL event log (one fleet_shard event per "
+        "shard + run summary) to PATH",
+    )
+    fleet_run.add_argument(
+        "--manifest", metavar="PATH",
+        help="write a run-provenance manifest (JSON) to PATH",
+    )
+    fleet_report = fleet_sub.add_parser(
+        "report", help="re-render a saved fleet result"
+    )
+    fleet_report.add_argument(
+        "result", help="path to a fleet result JSON (fleet run --out)"
+    )
     return parser
 
 
@@ -429,6 +498,7 @@ def _cmd_experiment(args, out) -> int:
         "fig10a": exp.fig10a_prediction.run,
         "fig10b": exp.fig10b_capacitors.run,
         "overhead": exp.overhead.run,
+        "fleet": exp.fleet_study.run,
     }
     t0 = time.perf_counter()
     table = runners[args.name]()
@@ -494,6 +564,13 @@ def _cmd_bench(args, out) -> int:
         f"parallel suite: serial {par['serial_seconds']:.2f}s, "
         f"{par['workers']} workers {par['parallel_seconds']:.2f}s "
         f"({par['speedup']:.2f}x, {par['workload']})",
+        file=out,
+    )
+    fleet = b["fleet"]
+    print(
+        f"fleet:         {fleet['nodes_per_sec']:.1f} nodes/s "
+        f"({fleet['nodes']} nodes in {fleet['seconds']:.2f}s, "
+        f"{fleet['workload']})",
         file=out,
     )
     print(f"report:        {path}", file=out)
@@ -571,6 +648,78 @@ def _cmd_verify(args, out) -> int:
     return 0 if report.ok else 6
 
 
+def _cmd_fleet(args, out) -> int:
+    from .fleet import FleetResult, FleetRunner, FleetSpec
+
+    if args.fleet_command == "report":
+        result = FleetResult.load_json(args.result)
+        print(result.render(), file=out)
+        print(file=out)
+        print(f"fingerprint: {result.fingerprint()}", file=out)
+        return 0
+
+    if args.fleet_command != "run":
+        raise AssertionError(
+            f"unhandled fleet command {args.fleet_command!r}"
+        )
+
+    spec_kwargs = {"n_nodes": args.nodes, "seed": args.seed,
+                   "days": args.days}
+    if args.policies:
+        spec_kwargs["policies"] = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        )
+    spec = FleetSpec(**spec_kwargs)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    observer = Observer(sinks=sinks) if sinks or args.manifest else None
+
+    t0 = time.perf_counter()
+    result = FleetRunner(
+        spec,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        observer=observer,
+    ).run()
+    wall = time.perf_counter() - t0
+
+    print(result.render(), file=out)
+    print(file=out)
+    print(
+        f"throughput:  {len(result) / wall:.1f} nodes/s "
+        f"({wall:.2f}s, {result.config['workers']} worker(s), "
+        f"shard size {result.config['shard_size']})",
+        file=out,
+    )
+    print(f"fingerprint: {result.fingerprint()}", file=out)
+    if args.out:
+        path = result.write_json(args.out)
+        print(f"result:      {path}", file=out)
+    if args.trace:
+        print(f"event trace: {args.trace}", file=out)
+    if args.manifest:
+        manifest = build_manifest(
+            f"fleet-{args.nodes}",
+            seed=args.seed,
+            scheduler="fleet",
+            benchmark="fleet",
+            timeline=timeline_dict(spec.timeline()),
+            config={k: v for k, v in result.config.items()
+                    if k not in ("wall_time_s", "nodes_per_s")},
+            result_summary=result.summary(),
+            wall_time_s=wall,
+        )
+        path = manifest.write(args.manifest)
+        print(f"manifest:    {path}", file=out)
+    if observer is not None:
+        observer.close()
+    return 0
+
+
 def _cmd_export(args, out) -> int:
     trace = _trace(args.days, args.seed)
     write_midc_csv(args.out, trace)
@@ -604,6 +753,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_cache(args, out)
         if args.command == "verify":
             return _cmd_verify(args, out)
+        if args.command == "fleet":
+            return _cmd_fleet(args, out)
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early: exit quietly
         # the way well-behaved Unix tools do.

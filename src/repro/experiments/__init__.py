@@ -13,6 +13,7 @@
 | Figure 10(b) | ``fig10b_capacitors``   |
 | Section 6.5  | ``overhead``            |
 | (ablations)  | ``ablations``           |
+| (fleet)      | ``fleet_study``         |
 """
 
 from .common import (
@@ -34,6 +35,7 @@ from . import (
     fig9_monthly,
     fig10a_prediction,
     fig10b_capacitors,
+    fleet_study,
     overhead,
     table2_migration,
     utilization_sweep,
@@ -57,6 +59,7 @@ __all__ = [
     "fig10b_capacitors",
     "overhead",
     "ablations",
+    "fleet_study",
     "utilization_sweep",
     "report",
 ]

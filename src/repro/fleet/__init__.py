@@ -1,0 +1,37 @@
+"""Fleet-scale simulation: populations of heterogeneous sensor nodes.
+
+The paper evaluates one node; this package runs hundreds to thousands
+of them — sharing one base solar trace with seeded per-node variation
+(panel scale, cloud jitter, workload mix, scheduler/policy assignment,
+heterogeneous capacitor banks) — and aggregates the population view:
+DMR distribution percentiles, brownout counts, energy-utilization
+histograms and per-policy comparison.
+
+Quickstart::
+
+    from repro.fleet import FleetSpec, run_fleet
+
+    result = run_fleet(FleetSpec(n_nodes=200, seed=0), workers=4)
+    print(result.render())
+    print(result.fingerprint())   # bit-identical for any worker count
+
+CLI: ``repro fleet run --nodes 200 --seed 0 --workers 4``.
+"""
+
+from .result import FLEET_RESULT_SCHEMA, FleetResult, NodeSummary
+from .runner import DEFAULT_SHARD_SIZE, FleetRunner, run_fleet, simulate_node
+from .spec import FLEET_POLICIES, FleetSpec, NodeSpec, node_trace
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "FLEET_POLICIES",
+    "FLEET_RESULT_SCHEMA",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSpec",
+    "NodeSpec",
+    "NodeSummary",
+    "node_trace",
+    "run_fleet",
+    "simulate_node",
+]

@@ -1,0 +1,305 @@
+"""Fleet execution: shard nodes over the process pool, checkpoint shards.
+
+A :class:`FleetRunner` expands a :class:`~repro.fleet.spec.FleetSpec`
+into shards of node ids and fans them out over
+:func:`repro.perf.parallel.parallel_map`.  Each shard is a tiny
+picklable work item ``(spec, node_ids)``; the worker rebuilds the base
+trace, derives every node's configuration from ``(fleet seed, node
+id)``, simulates it and returns one
+:class:`~repro.fleet.result.NodeSummary` per node.
+
+Two layers of reuse ride on the existing artifact cache:
+
+- *shard checkpoints* (kind ``fleet-shard``): every finished shard is
+  written under a digest of the fleet spec and its node ids, so a
+  killed or re-invoked fleet run only recomputes the missing shards —
+  and re-aggregation (``repro fleet report`` from cache, changed
+  worker counts) is free;
+- *shared offline stages* (kind ``policy``): when the ``proposed``
+  policy is in the pool, the DBN pipeline trains once per distinct
+  workload and every node with that workload loads the artifact.
+
+Determinism contract: node summaries are pure functions of ``(fleet
+seed, node id)``; shards are combined in node-id order; therefore
+``FleetResult.fingerprint()`` is bit-identical for any worker count or
+shard size (guarded by tests and the ``repro fleet`` acceptance check).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..energy.capacitor import SuperCapacitor
+from ..node.node import SensorNode
+from ..obs.events import NULL_OBSERVER, Observer
+from ..perf.cache import ArtifactCache, cache_enabled, default_cache, hash_key
+from ..perf.parallel import parallel_map, resolve_workers
+from ..schedulers import (
+    DVFSLoadMatchingScheduler,
+    GreedyEDFScheduler,
+    InterTaskScheduler,
+    IntraTaskScheduler,
+    RandomScheduler,
+)
+from ..sim.checkpoint import result_fingerprint
+from ..sim.engine import simulate
+from ..verify.strategies import build_graph
+from .result import FleetResult, NodeSummary
+from .spec import FleetSpec, NodeSpec, node_trace
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "FleetRunner",
+    "run_fleet",
+    "simulate_node",
+]
+
+#: Nodes per work item.  Small enough to load-balance a handful of
+#: workers on mid-sized fleets, big enough that the per-item pickle and
+#: base-trace rebuild cost stays negligible.
+DEFAULT_SHARD_SIZE = 32
+
+#: Artifact-cache namespace of shard checkpoints.
+SHARD_KIND = "fleet-shard"
+
+
+# ----------------------------------------------------------------------
+# Per-node simulation (runs inside worker processes)
+# ----------------------------------------------------------------------
+def _make_scheduler(policy: str, scheduler_seed: int):
+    if policy == "asap":
+        return GreedyEDFScheduler()
+    if policy == "inter-task":
+        return InterTaskScheduler()
+    if policy == "intra-task":
+        return IntraTaskScheduler()
+    if policy == "dvfs":
+        return DVFSLoadMatchingScheduler()
+    if policy == "random":
+        return RandomScheduler(scheduler_seed)
+    raise ValueError(f"unknown fleet policy {policy!r}")
+
+
+def _proposed_policy(fleet: FleetSpec, graph_kind: str):
+    """Train (or cache-load) the paper's pipeline for one workload.
+
+    The training budget is the fleet's small ``proposed_*`` knobs; the
+    artifact is shared through the ``policy`` disk cache, so a fleet
+    with 50 ``proposed``/``wam`` nodes trains once, not 50 times.
+    """
+    from ..core.offline import OfflinePipeline
+    from ..solar.days import synthetic_trace
+    from ..timeline import Timeline
+
+    graph = build_graph(graph_kind)
+    train_tl = Timeline(
+        num_days=fleet.proposed_train_days,
+        periods_per_day=fleet.periods_per_day,
+        slots_per_period=fleet.slots_per_period,
+        slot_seconds=fleet.slot_seconds,
+    )
+    train_trace = synthetic_trace(train_tl, seed=fleet.seed)
+    pipeline = OfflinePipeline(
+        graph,
+        pretrain_epochs=fleet.proposed_epochs,
+        finetune_epochs=fleet.proposed_epochs,
+        augment_per_period=1,
+        seed=fleet.seed,
+    )
+    cache = default_cache() if cache_enabled() else None
+    return pipeline.run(train_trace, cache=cache)
+
+
+def simulate_node(fleet: FleetSpec, base_trace, spec: NodeSpec) -> NodeSummary:
+    """Simulate one fleet node and reduce it to a :class:`NodeSummary`.
+
+    Pure function of the fleet spec, the shared base trace and the
+    node spec — no global state, safe in any worker process.
+    """
+    graph = build_graph(spec.graph_kind)
+    trace = node_trace(base_trace, spec)
+    if spec.policy == "proposed":
+        policy = _proposed_policy(fleet, spec.graph_kind)
+        node = policy.make_node()
+        scheduler = policy.make_scheduler()
+    else:
+        node = SensorNode(
+            [SuperCapacitor(capacitance=c) for c in spec.bank_farads],
+            num_nvps=graph.num_nvps,
+        )
+        scheduler = _make_scheduler(spec.policy, spec.scheduler_seed)
+    result = simulate(node, graph, trace, scheduler, strict=False)
+    return NodeSummary(
+        node_id=spec.node_id,
+        graph_kind=spec.graph_kind,
+        policy=spec.policy,
+        num_tasks=len(graph),
+        panel_scale=spec.panel_scale,
+        bank_farads=tuple(spec.bank_farads),
+        dmr=result.dmr,
+        energy_utilization=result.energy_utilization,
+        migration_efficiency=result.migration_efficiency,
+        brownout_slots=result.total_brownout_slots,
+        solar_energy=result.total_solar_energy,
+        load_energy=result.total_load_energy,
+        fingerprint=result_fingerprint(result),
+    )
+
+
+def _run_shard(item: Tuple[FleetSpec, Tuple[int, ...]]):
+    """Worker entry point: simulate one shard of node ids.
+
+    Module-level (picklable) on purpose; rebuilds the shared base trace
+    once per shard rather than shipping the power array per item.
+    """
+    fleet, node_ids = item
+    start = time.perf_counter()
+    base = fleet.base_trace()
+    summaries = [
+        simulate_node(fleet, base, fleet.node_spec(i)) for i in node_ids
+    ]
+    return summaries, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class FleetRunner:
+    """Shard a fleet across the process pool and aggregate the results.
+
+    Parameters
+    ----------
+    spec:
+        The fleet to run.
+    workers:
+        Process count (``None`` → ``$REPRO_WORKERS`` → serial).  Never
+        affects results, only wall-clock.
+    shard_size:
+        Nodes per work item (default :data:`DEFAULT_SHARD_SIZE`).
+        Never affects results.
+    cache:
+        Shard-checkpoint store.  ``None`` uses the default artifact
+        cache when caching is enabled (``REPRO_NO_CACHE`` unset);
+        ``False`` disables shard checkpointing outright.
+    observer:
+        Receives one ``fleet_shard`` event per shard plus the run
+        trailer via :meth:`Observer.finish`.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        cache=None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.spec = spec
+        self.workers = resolve_workers(workers)
+        self.shard_size = int(shard_size or DEFAULT_SHARD_SIZE)
+        if cache is False:
+            self.cache: Optional[ArtifactCache] = None
+        elif cache is None:
+            self.cache = default_cache() if cache_enabled() else None
+        else:
+            self.cache = cache
+        self.observer = observer if observer is not None else NULL_OBSERVER
+
+    # ------------------------------------------------------------------
+    def shards(self) -> List[Tuple[int, ...]]:
+        """Node ids partitioned into contiguous shards."""
+        ids = range(self.spec.n_nodes)
+        return [
+            tuple(ids[lo : lo + self.shard_size])
+            for lo in range(0, self.spec.n_nodes, self.shard_size)
+        ]
+
+    def _shard_digest(self, node_ids: Sequence[int]) -> str:
+        return hash_key(
+            {
+                "artifact": SHARD_KIND,
+                "fleet": self.spec.describe(),
+                "shard": list(node_ids),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Simulate every node; returns the aggregate.
+
+        Checkpointed shards are loaded instead of recomputed; pending
+        shards fan out over the process pool and are checkpointed as
+        they land.  Summaries always combine in node-id order, so the
+        aggregate fingerprint is independent of all of this.
+        """
+        shards = self.shards()
+        start = time.perf_counter()
+        ready: dict = {}
+        pending: List[int] = []
+        for index, node_ids in enumerate(shards):
+            cached = (
+                self.cache.get(SHARD_KIND, self._shard_digest(node_ids))
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                ready[index] = cached
+                self.observer.fleet_shard(
+                    index, len(shards), node_ids, cached=True, seconds=0.0
+                )
+            else:
+                pending.append(index)
+
+        computed = parallel_map(
+            _run_shard,
+            [(self.spec, shards[i]) for i in pending],
+            n_workers=self.workers,
+        )
+        for index, (summaries, seconds) in zip(pending, computed):
+            ready[index] = summaries
+            if self.cache is not None:
+                self.cache.put(
+                    SHARD_KIND, self._shard_digest(shards[index]), summaries
+                )
+            self.observer.fleet_shard(
+                index, len(shards), shards[index], cached=False,
+                seconds=seconds,
+            )
+
+        nodes = [s for index in sorted(ready) for s in ready[index]]
+        wall = time.perf_counter() - start
+        result = FleetResult(
+            nodes,
+            config={
+                **self.spec.describe(),
+                "workers": self.workers,
+                "shard_size": self.shard_size,
+                "shards": len(shards),
+                "wall_time_s": wall,
+                "nodes_per_s": len(nodes) / wall if wall > 0 else 0.0,
+            },
+        )
+        self.observer.finish(
+            result_summary=result.summary(), scheduler="fleet"
+        )
+        return result
+
+
+def run_fleet(
+    spec: FleetSpec,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    cache=None,
+    observer: Optional[Observer] = None,
+) -> FleetResult:
+    """One-call convenience wrapper around :class:`FleetRunner`."""
+    return FleetRunner(
+        spec,
+        workers=workers,
+        shard_size=shard_size,
+        cache=cache,
+        observer=observer,
+    ).run()

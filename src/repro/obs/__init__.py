@@ -34,6 +34,7 @@ from .events import (
     Event,
     FaultInjectionEvent,
     FaultScenarioEvent,
+    FleetShardEvent,
     InvariantViolationEvent,
     NULL_OBSERVER,
     Observer,
@@ -73,6 +74,7 @@ __all__ = [
     "FaultScenarioEvent",
     "CheckpointEvent",
     "InvariantViolationEvent",
+    "FleetShardEvent",
     "Observer",
     "NULL_OBSERVER",
     "Counter",

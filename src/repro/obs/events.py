@@ -37,6 +37,7 @@ __all__ = [
     "FaultScenarioEvent",
     "CheckpointEvent",
     "InvariantViolationEvent",
+    "FleetShardEvent",
     "Observer",
     "NULL_OBSERVER",
 ]
@@ -219,6 +220,23 @@ class InvariantViolationEvent(Event):
     check: str
     message: str
     severity: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetShardEvent(Event):
+    """One shard of a fleet run finished (computed or checkpoint hit).
+
+    Fleet events carry no simulation clock — shards span whole runs —
+    so the base fields are the zeroed defaults.
+    """
+
+    kind = "fleet_shard"
+
+    shard_index: int
+    num_shards: int
+    node_ids: Tuple[int, ...]
+    cached: bool
+    seconds: float
 
 
 @dataclasses.dataclass(frozen=True)
@@ -528,6 +546,33 @@ class Observer:
                 brownout_slots=int(brownout_slots),
                 solar_energy=float(solar_energy),
                 load_energy=float(load_energy),
+            )
+        )
+
+    def fleet_shard(
+        self,
+        shard_index: int,
+        num_shards: int,
+        node_ids: Sequence[int],
+        cached: bool,
+        seconds: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("fleet_shards_total").inc()
+        if cached:
+            self.metrics.counter("fleet_shard_cache_hits_total").inc()
+        self.metrics.counter("fleet_nodes_total").inc(len(node_ids))
+        self.emit(
+            FleetShardEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                shard_index=int(shard_index),
+                num_shards=int(num_shards),
+                node_ids=tuple(int(i) for i in node_ids),
+                cached=bool(cached),
+                seconds=float(seconds),
             )
         )
 

@@ -156,6 +156,30 @@ def _bench_parallel(quick: bool, workers: int) -> Dict[str, Any]:
     }
 
 
+def _bench_fleet(quick: bool) -> Dict[str, Any]:
+    """Fleet throughput (nodes/s) on a small heterogeneous population.
+
+    Serial and checkpoint-free on purpose: the number tracks raw
+    per-node simulation cost, not pool scaling or cache luck.  The
+    aggregate fingerprint rides along so a perf report doubles as a
+    determinism witness.
+    """
+    from ..fleet import FleetRunner, FleetSpec
+
+    n_nodes = 16 if quick else 64
+    spec = FleetSpec(n_nodes=n_nodes, seed=0)
+    t0 = time.perf_counter()
+    result = FleetRunner(spec, workers=1, cache=False).run()
+    seconds = time.perf_counter() - t0
+    return {
+        "workload": f"fleet/{n_nodes}n/1d/seed0",
+        "nodes": n_nodes,
+        "seconds": seconds,
+        "nodes_per_sec": n_nodes / seconds,
+        "fingerprint": result.fingerprint(),
+    }
+
+
 def run_bench(quick: bool = False, workers: int = 4) -> Dict[str, Any]:
     """Run the full harness; returns the report dict."""
     report: Dict[str, Any] = {
@@ -172,6 +196,7 @@ def run_bench(quick: bool = False, workers: int = 4) -> Dict[str, Any]:
             "slot_loop": _bench_slot_loop(quick),
             "offline_training": _bench_offline(quick),
             "parallel_suite": _bench_parallel(quick, workers),
+            "fleet": _bench_fleet(quick),
         },
     }
     return report

@@ -29,6 +29,12 @@ __all__ = [
     "random_trace",
     "constant_trace",
     "identical_task_graph",
+    "node_rng",
+    "build_graph",
+    "fleet_variation",
+    "fleet_variations",
+    "FLEET_TASK_MIX",
+    "FLEET_BANK_CHOICES",
     "task_graphs",
     "solar_days",
     "capacitor_banks",
@@ -128,6 +134,94 @@ def identical_task_graph(
             for i in range(num_tasks)
         ]
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet heterogeneity (n-node variation)
+# ----------------------------------------------------------------------
+#: Workload kinds a fleet node may draw; named entries resolve to the
+#: paper benchmarks, ``random`` to a seeded :func:`random_benchmark`.
+FLEET_TASK_MIX: Tuple[str, ...] = ("wam", "ecg", "shm", "random")
+
+#: Capacitances a heterogeneous bank draws from (same candidate set as
+#: :func:`capacitor_banks`).
+FLEET_BANK_CHOICES: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.7, 10.0, 47.0)
+
+
+def node_rng(seed: int, node_index: int) -> np.random.Generator:
+    """Independent per-node RNG derived only from ``(seed, node_index)``.
+
+    This is the determinism anchor of every n-node generator: a node's
+    variation never depends on worker identity, shard boundaries or
+    draw order across nodes, so fleet results are bit-identical for any
+    worker count or shard size.
+    """
+    return np.random.default_rng([int(seed), int(node_index)])
+
+
+def build_graph(kind: str) -> TaskGraph:
+    """Resolve a task-mix kind to a concrete graph.
+
+    ``kind`` is a :data:`FLEET_TASK_MIX` name or ``"random:<seed>"``
+    (the reified form of a ``random`` draw), so a node's workload can
+    be reconstructed from a short picklable string in any process.
+    """
+    from ..tasks.benchmarks import ecg, shm, wam
+
+    named = {"wam": wam, "ecg": ecg, "shm": shm}
+    if kind in named:
+        return named[kind]()
+    if kind.startswith("random:"):
+        return random_benchmark(int(kind.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown task kind {kind!r}; expected one of {sorted(named)} "
+        f"or 'random:<seed>'"
+    )
+
+
+def fleet_variation(
+    seed: int,
+    node_index: int,
+    task_mix: Sequence[str] = FLEET_TASK_MIX,
+    policies: Sequence[str] = ("asap",),
+    bank_choices: Sequence[float] = FLEET_BANK_CHOICES,
+    bank_size: Tuple[int, int] = (2, 4),
+    panel_scale: Tuple[float, float] = (0.6, 1.4),
+    cloud_jitter: Tuple[float, float] = (0.0, 0.25),
+) -> dict:
+    """Seeded per-node variation for heterogeneous multi-node setups.
+
+    One deterministic dict per ``(seed, node_index)``: workload kind,
+    scheduler/policy assignment, capacitor-bank sizes, panel scale and
+    cloud-jitter parameters.  The draw order is part of the contract —
+    changing it changes every downstream fleet fingerprint.
+    """
+    rng = node_rng(seed, node_index)
+    kind = str(task_mix[int(rng.integers(len(task_mix)))])
+    if kind == "random":
+        kind = f"random:{int(rng.integers(100_000))}"
+    n_caps = int(rng.integers(bank_size[0], bank_size[1] + 1))
+    farads = tuple(
+        float(bank_choices[int(k)])
+        for k in rng.integers(len(bank_choices), size=n_caps)
+    )
+    return {
+        "node_id": int(node_index),
+        "graph_kind": kind,
+        "policy": str(policies[int(rng.integers(len(policies)))]),
+        "bank_farads": farads,
+        "panel_scale": float(rng.uniform(*panel_scale)),
+        "jitter_sigma": float(rng.uniform(*cloud_jitter)),
+        "jitter_seed": int(rng.integers(2**31)),
+        "scheduler_seed": int(rng.integers(2**31)),
+    }
+
+
+def fleet_variations(seed: int, n_nodes: int, **kwargs) -> list:
+    """``n_nodes`` independent :func:`fleet_variation` dicts."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    return [fleet_variation(seed, i, **kwargs) for i in range(n_nodes)]
 
 
 # ----------------------------------------------------------------------

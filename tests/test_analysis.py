@@ -105,6 +105,67 @@ class TestCompareResults:
             compare_results(a, b, granularity="week")
 
 
+class TestDeterminism:
+    """Bootstrap helpers are pure functions of (data, seed)."""
+
+    def test_bootstrap_ci_reproducible(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0.5, 0.1, size=100)
+        assert bootstrap_ci(values, seed=9) == bootstrap_ci(values, seed=9)
+        _, lo_a, hi_a = bootstrap_ci(values, seed=9)
+        _, lo_b, hi_b = bootstrap_ci(values, seed=10)
+        assert (lo_a, hi_a) != (lo_b, hi_b)
+
+    def test_paired_diff_reproducible(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0.4, 0.05, size=40)
+        b = rng.normal(0.5, 0.05, size=40)
+        assert paired_bootstrap_diff(a, b, seed=2) == paired_bootstrap_diff(
+            a, b, seed=2
+        )
+
+    def test_confidence_widens_interval(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0.5, 0.1, size=80)
+        _, lo90, hi90 = bootstrap_ci(values, confidence=0.90, seed=1)
+        _, lo99, hi99 = bootstrap_ci(values, confidence=0.99, seed=1)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+
+class TestSignificantProperty:
+    def test_ci_above_zero(self):
+        cmp = PairedComparison(diff=0.2, ci_low=0.1, ci_high=0.3,
+                               p_value=0.01)
+        assert cmp.significant
+
+    def test_ci_below_zero(self):
+        cmp = PairedComparison(diff=-0.2, ci_low=-0.3, ci_high=-0.1,
+                               p_value=0.01)
+        assert cmp.significant
+
+    def test_ci_spanning_zero(self):
+        cmp = PairedComparison(diff=0.05, ci_low=-0.1, ci_high=0.2,
+                               p_value=0.4)
+        assert not cmp.significant
+
+    def test_ci_touching_zero_not_significant(self):
+        cmp = PairedComparison(diff=0.1, ci_low=0.0, ci_high=0.2,
+                               p_value=0.05)
+        assert not cmp.significant
+
+
+class TestCompareDirection:
+    def test_negative_diff_means_a_lower(self):
+        """Sanity on sign convention: diff = mean(A - B)."""
+        b = np.full(30, 0.6)
+        a = np.full(30, 0.4) + np.random.default_rng(0).normal(
+            0, 0.01, size=30
+        )
+        comparison = paired_bootstrap_diff(a, b, seed=1)
+        assert comparison.diff < 0
+        assert comparison.significant
+
+
 class TestSeedSweep:
     def test_summary_fields(self):
         summary = seed_sweep(lambda s: float(s % 3), seeds=[0, 1, 2, 3, 4, 5])
@@ -120,3 +181,8 @@ class TestSeedSweep:
     def test_empty_seeds_rejected(self):
         with pytest.raises(ValueError):
             seed_sweep(lambda s: 0.0, seeds=[])
+
+    def test_seeds_are_passed_through(self):
+        seen = []
+        seed_sweep(lambda s: seen.append(s) or 0.0, seeds=[7, 11, 13])
+        assert seen == [7, 11, 13]

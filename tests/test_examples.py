@@ -1,0 +1,51 @@
+"""Smoke tests: every ``examples/`` script runs cleanly end to end.
+
+Each script honours the ``REPRO_EXAMPLE_FAST`` knob (coarse periods,
+short sweeps, tiny training budgets), so the whole directory executes
+in seconds.  The scripts run in a real subprocess — the way a user
+would invoke them — with the working directory and cache pointed at a
+temp dir so they leave nothing behind in the repo.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_discovered():
+    """Guard against the glob silently matching nothing after a move."""
+    names = {p.name for p in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert "fleet_simulation.py" in names
+    assert len(EXAMPLE_SCRIPTS) >= 7
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_EXAMPLE_FAST"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,371 @@
+"""Tests for the fleet-scale simulation subsystem (``repro.fleet``).
+
+The headline contract under test: a fleet is a pure function of its
+spec — same fleet seed → bit-identical aggregate fingerprint for any
+worker count, shard size or checkpoint state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    DEFAULT_SHARD_SIZE,
+    FLEET_POLICIES,
+    FleetResult,
+    FleetRunner,
+    FleetSpec,
+    NodeSummary,
+    node_trace,
+    run_fleet,
+    simulate_node,
+)
+from repro.obs import Observer
+from repro.perf.cache import ArtifactCache
+from repro.verify.strategies import (
+    FLEET_TASK_MIX,
+    build_graph,
+    fleet_variation,
+    fleet_variations,
+    node_rng,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache(monkeypatch):
+    """Keep fleet tests hermetic: no reads/writes of .repro-cache."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+SMALL = FleetSpec(n_nodes=8, seed=7)
+
+
+# ----------------------------------------------------------------------
+# Generators (verify/strategies fleet hooks)
+# ----------------------------------------------------------------------
+class TestFleetVariation:
+    def test_deterministic_per_seed_and_index(self):
+        assert fleet_variation(3, 5) == fleet_variation(3, 5)
+        assert fleet_variation(3, 5) != fleet_variation(3, 6)
+        assert fleet_variation(3, 5) != fleet_variation(4, 5)
+
+    def test_independent_of_other_nodes(self):
+        """Node i's draw never depends on how many nodes exist."""
+        small = fleet_variations(11, 3)
+        large = fleet_variations(11, 50)
+        assert large[:3] == small
+
+    def test_node_rng_streams_are_distinct(self):
+        a = node_rng(0, 1).integers(2**31, size=8)
+        b = node_rng(0, 2).integers(2**31, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_fields_within_requested_ranges(self):
+        for var in fleet_variations(
+            5, 40, bank_size=(2, 3), panel_scale=(0.5, 0.8),
+            cloud_jitter=(0.1, 0.2), policies=("asap", "random"),
+        ):
+            assert 2 <= len(var["bank_farads"]) <= 3
+            assert 0.5 <= var["panel_scale"] <= 0.8
+            assert 0.1 <= var["jitter_sigma"] <= 0.2
+            assert var["policy"] in ("asap", "random")
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            fleet_variations(0, 0)
+
+    def test_build_graph_named_and_random(self):
+        assert len(build_graph("wam")) > 0
+        assert len(build_graph("ecg")) > 0
+        g1, g2 = build_graph("random:42"), build_graph("random:42")
+        assert [t.name for t in g1.tasks] == [t.name for t in g2.tasks]
+        with pytest.raises(ValueError):
+            build_graph("quantum")
+
+
+# ----------------------------------------------------------------------
+# Spec expansion and the per-node weather
+# ----------------------------------------------------------------------
+class TestFleetSpec:
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=0)
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=2, policies=("warp-drive",))
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=2, task_mix=("quantum",))
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=2, panel_scale=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            FleetSpec(n_nodes=2, bank_size=(3, 2))
+
+    def test_reified_random_kind_is_valid_task_mix(self):
+        FleetSpec(n_nodes=2, task_mix=("random:17",))
+
+    def test_node_specs_cover_the_fleet(self):
+        specs = SMALL.node_specs()
+        assert [s.node_id for s in specs] == list(range(SMALL.n_nodes))
+        assert all(s.policy in FLEET_POLICIES for s in specs)
+        with pytest.raises(IndexError):
+            SMALL.node_spec(SMALL.n_nodes)
+
+    def test_heterogeneity_actually_varies(self):
+        specs = FleetSpec(n_nodes=30, seed=0).node_specs()
+        assert len({s.graph_kind for s in specs}) > 1
+        assert len({s.bank_farads for s in specs}) > 1
+        assert len({s.panel_scale for s in specs}) == 30
+
+    def test_node_trace_scales_and_jitters(self):
+        base = SMALL.base_trace()
+        spec = SMALL.node_spec(0)
+        trace = node_trace(base, spec)
+        assert trace.power.shape == base.power.shape
+        assert np.all(trace.power >= 0)
+        scaled = base.power * spec.panel_scale
+        if spec.jitter_sigma == 0:
+            np.testing.assert_array_equal(trace.power, scaled)
+        else:
+            assert not np.array_equal(trace.power, scaled)
+        # Same node spec -> same weather, bit for bit.
+        np.testing.assert_array_equal(
+            trace.power, node_trace(base, spec).power
+        )
+
+    def test_simulate_node_is_deterministic(self):
+        base = SMALL.base_trace()
+        spec = SMALL.node_spec(3)
+        assert simulate_node(SMALL, base, spec) == simulate_node(
+            SMALL, base, spec
+        )
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+def _summary(node_id, policy="asap", dmr=0.5, util=0.4, brownouts=0):
+    return NodeSummary(
+        node_id=node_id,
+        graph_kind="wam",
+        policy=policy,
+        num_tasks=8,
+        panel_scale=1.0,
+        bank_farads=(1.0, 10.0),
+        dmr=dmr,
+        energy_utilization=util,
+        migration_efficiency=0.9,
+        brownout_slots=brownouts,
+        solar_energy=100.0,
+        load_energy=60.0,
+        fingerprint="f" * 64,
+    )
+
+
+class TestFleetResult:
+    def test_sorts_by_node_id_and_rejects_duplicates(self):
+        result = FleetResult([_summary(2), _summary(0), _summary(1)])
+        assert [n.node_id for n in result.nodes] == [0, 1, 2]
+        with pytest.raises(ValueError):
+            FleetResult([_summary(1), _summary(1)])
+        with pytest.raises(ValueError):
+            FleetResult([])
+
+    def test_distribution_metrics(self):
+        result = FleetResult(
+            [_summary(i, dmr=i / 10, brownouts=i % 2) for i in range(10)]
+        )
+        assert result.mean_dmr == pytest.approx(0.45)
+        pct = result.dmr_percentiles()
+        assert pct["p5"] <= pct["p50"] <= pct["p95"]
+        assert result.total_brownout_slots == 5
+        assert result.brownout_node_fraction == pytest.approx(0.5)
+        counts, edges = result.utilization_histogram(bins=5)
+        assert sum(counts) == 10
+        assert len(edges) == 6
+
+    def test_by_policy_cohorts(self):
+        result = FleetResult(
+            [_summary(0, "asap", dmr=0.2), _summary(1, "asap", dmr=0.4),
+             _summary(2, "random", dmr=0.9)]
+        )
+        cohorts = result.by_policy()
+        assert set(cohorts) == {"asap", "random"}
+        assert cohorts["asap"]["nodes"] == 2
+        assert cohorts["asap"]["mean_dmr"] == pytest.approx(0.3)
+
+    def test_by_graph_pools_random_seeds(self):
+        nodes = [_summary(0), _summary(1)]
+        import dataclasses
+
+        nodes[1] = dataclasses.replace(nodes[1], graph_kind="random:42")
+        result = FleetResult(nodes)
+        assert set(result.by_graph()) == {"wam", "random"}
+
+    def test_fingerprint_sensitivity(self):
+        base = FleetResult([_summary(0), _summary(1)])
+        same = FleetResult([_summary(1), _summary(0)])
+        assert base.fingerprint() == same.fingerprint()
+        other = FleetResult([_summary(0), _summary(1, dmr=0.51)])
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_json_roundtrip(self, tmp_path):
+        result = FleetResult(
+            [_summary(i) for i in range(4)], config={"seed": 3}
+        )
+        path = result.write_json(tmp_path / "fleet.json")
+        loaded = FleetResult.load_json(path)
+        assert loaded.fingerprint() == result.fingerprint()
+        assert loaded.config["seed"] == 3
+        assert loaded.nodes == result.nodes
+
+    def test_load_rejects_garbage_and_bad_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("][")
+        with pytest.raises(ValueError):
+            FleetResult.load_json(bad)
+        bad.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            FleetResult.load_json(bad)
+        good = FleetResult([_summary(0)])
+        payload = good.to_dict()
+        payload["schema"] = 999
+        bad.write_text(__import__("json").dumps(payload))
+        with pytest.raises(ValueError):
+            FleetResult.load_json(bad)
+
+    def test_render_mentions_every_policy(self):
+        result = FleetResult(
+            [_summary(0, "asap"), _summary(1, "random")]
+        )
+        text = result.render()
+        assert "asap" in text and "random" in text
+        assert "DMR:" in text
+
+
+# ----------------------------------------------------------------------
+# The runner: determinism, sharding, checkpointing, observability
+# ----------------------------------------------------------------------
+class TestFleetRunner:
+    def test_fingerprint_invariant_to_workers_and_shards(self):
+        reference = run_fleet(SMALL, workers=1, cache=False)
+        for workers, shard_size in ((1, 3), (4, 2), (2, None)):
+            again = run_fleet(
+                SMALL, workers=workers, shard_size=shard_size, cache=False
+            )
+            assert again.fingerprint() == reference.fingerprint(), (
+                f"workers={workers} shard_size={shard_size}"
+            )
+
+    def test_shard_partition(self):
+        runner = FleetRunner(SMALL, shard_size=3, cache=False)
+        shards = runner.shards()
+        assert [len(s) for s in shards] == [3, 3, 2]
+        assert [i for s in shards for i in s] == list(range(8))
+        assert FleetRunner(SMALL, cache=False).shard_size == (
+            DEFAULT_SHARD_SIZE
+        )
+        with pytest.raises(ValueError):
+            FleetRunner(SMALL, shard_size=0)
+
+    def test_shard_checkpoints_hit_on_rerun(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "ck")
+        spec = FleetSpec(n_nodes=6, seed=1)
+        cold = FleetRunner(spec, shard_size=2, cache=cache).run()
+
+        events = []
+
+        class Spy:
+            def write(self, record):
+                events.append(record)
+
+        warm = FleetRunner(
+            spec, shard_size=2, cache=cache,
+            observer=Observer(sinks=[Spy()]),
+        ).run()
+        assert warm.fingerprint() == cold.fingerprint()
+        shard_events = [e for e in events if e["kind"] == "fleet_shard"]
+        assert len(shard_events) == 3
+        assert all(e["cached"] for e in shard_events)
+
+    def test_checkpoint_key_depends_on_spec(self, tmp_path):
+        """A different fleet never reuses another fleet's shards."""
+        cache = ArtifactCache(tmp_path / "ck")
+        a = FleetRunner(FleetSpec(n_nodes=4, seed=1), cache=cache).run()
+        b = FleetRunner(FleetSpec(n_nodes=4, seed=2), cache=cache).run()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_corrupt_checkpoint_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "ck")
+        spec = FleetSpec(n_nodes=4, seed=3)
+        cold = FleetRunner(spec, cache=cache).run()
+        for entry in (tmp_path / "ck").rglob("*.pkl"):
+            entry.write_bytes(b"garbage")
+        again = FleetRunner(spec, cache=cache).run()
+        assert again.fingerprint() == cold.fingerprint()
+
+    def test_observer_receives_shard_events_and_summary(self):
+        events = []
+
+        class Spy:
+            def write(self, record):
+                events.append(record)
+
+        result = FleetRunner(
+            SMALL, shard_size=4, cache=False,
+            observer=Observer(sinks=[Spy()]),
+        ).run()
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("fleet_shard") == 2
+        trailer = [e for e in events if e["kind"] == "run_summary"][0]
+        assert trailer["result"]["fingerprint"] == result.fingerprint()
+        shard = [e for e in events if e["kind"] == "fleet_shard"][0]
+        assert shard["cached"] is False
+        assert shard["node_ids"] == [0, 1, 2, 3]
+
+    def test_config_records_execution_shape(self):
+        result = FleetRunner(SMALL, workers=1, shard_size=3,
+                             cache=False).run()
+        assert result.config["workers"] == 1
+        assert result.config["shard_size"] == 3
+        assert result.config["shards"] == 3
+        assert result.config["n_nodes"] == SMALL.n_nodes
+        assert result.config["nodes_per_s"] > 0
+
+    def test_proposed_policy_pool(self, tmp_path, monkeypatch):
+        """The DBN pipeline trains once per workload, shared via cache."""
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = FleetSpec(
+            n_nodes=3, seed=0, policies=("proposed",), task_mix=("wam",)
+        )
+        result = run_fleet(spec, workers=1, cache=False)
+        assert all(n.policy == "proposed" for n in result.nodes)
+        # One distinct workload -> exactly one trained-policy artifact.
+        policies = list((tmp_path / "cache" / "policy").glob("*.pkl"))
+        assert len(policies) == 1
+        again = run_fleet(spec, workers=1, cache=False)
+        assert again.fingerprint() == result.fingerprint()
+
+
+@pytest.mark.slow
+class TestFleetSoak:
+    def test_acceptance_200_nodes_worker_invariant(self):
+        """The ISSUE acceptance check, in-process."""
+        spec = FleetSpec(n_nodes=200, seed=0)
+        serial = run_fleet(spec, workers=1, cache=False)
+        pooled = run_fleet(spec, workers=4, cache=False)
+        assert serial.fingerprint() == pooled.fingerprint()
+        assert len(serial) == 200
+        summary = serial.summary()
+        assert 0.0 <= summary["mean_dmr"] <= 1.0
+        assert set(serial.by_policy()) <= set(FLEET_POLICIES)
+
+    def test_all_policies_all_workloads(self):
+        """Every policy and every named workload simulates cleanly."""
+        spec = FleetSpec(
+            n_nodes=24,
+            seed=5,
+            policies=FLEET_POLICIES,
+            task_mix=FLEET_TASK_MIX,
+        )
+        result = run_fleet(spec, workers=1, cache=False)
+        assert len(result) == 24
+        assert all(0.0 <= n.dmr <= 1.0 for n in result.nodes)

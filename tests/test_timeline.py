@@ -98,6 +98,27 @@ class TestIndexing:
             assert tl.flat_slot(tl.unflatten(flat)) == flat
 
 
+class TestIteration:
+    def test_period_slots_covers_one_period(self):
+        tl = make()
+        indices = list(tl.period_slots(1, 2))
+        assert len(indices) == tl.slots_per_period
+        assert all(i.day == 1 and i.period == 2 for i in indices)
+        assert [i.slot for i in indices] == list(range(tl.slots_per_period))
+
+    def test_iter_slots_matches_nested_period_slots(self):
+        tl = make()
+        nested = [
+            idx
+            for day, period in tl.iter_periods()
+            for idx in tl.period_slots(day, period)
+        ]
+        assert nested == list(tl.iter_slots())
+
+    def test_slot_index_as_tuple(self):
+        assert SlotIndex(1, 2, 3).as_tuple() == (1, 2, 3)
+
+
 class TestWallClock:
     def test_periods_spread_over_day(self):
         tl = make(periods=4)
@@ -116,6 +137,43 @@ class TestWallClock:
         tl = make()
         a = tl.slot_absolute_time(SlotIndex(1, 0, 0))
         assert a == pytest.approx(86400.0)
+
+    def test_non_dividing_hyper_period_stays_diurnal(self):
+        """Periods spread over 24 h even when ΔT·N_p != 86 400 s.
+
+        With 7 periods of 150 s the task time covers only 1050 s of
+        the day, but period k still starts at k/7 of the solar day so
+        the trace alignment survives.
+        """
+        tl = make(periods=7)
+        assert tl.periods_per_day * tl.period_seconds != pytest.approx(86400)
+        for k in range(7):
+            start = tl.slot_time_of_day(SlotIndex(0, k, 0))
+            assert start == pytest.approx(k * 86400.0 / 7)
+        # Last slot of the last period still lands inside the day.
+        last = tl.slot_time_of_day(SlotIndex(0, 6, tl.slots_per_period - 1))
+        assert last < 86400.0
+
+    def test_horizon_counts_task_time_not_wall_clock(self):
+        tl = make(days=3, periods=7)
+        assert tl.horizon_seconds == pytest.approx(
+            tl.total_slots * tl.slot_seconds
+        )
+        wall = tl.slot_absolute_time(
+            SlotIndex(2, 6, tl.slots_per_period - 1)
+        )
+        assert wall > tl.horizon_seconds  # idle gaps between periods
+
+    @given(
+        periods=st.integers(1, 24),
+        day=st.integers(0, 1),
+        period_frac=st.floats(0.0, 0.999),
+    )
+    def test_time_of_day_always_within_day(self, periods, day, period_frac):
+        tl = make(days=2, periods=periods, slots=5, dt=30.0)
+        period = int(period_frac * periods)
+        t = tl.slot_time_of_day(SlotIndex(day, period, 4))
+        assert 0.0 <= t < 86400.0 + tl.period_seconds
 
 
 class TestDeadlineSlot:
@@ -140,6 +198,12 @@ class TestDeadlineSlot:
         tl = make()
         with pytest.raises(ValueError):
             tl.deadline_slot(-1.0)
+
+    def test_fractional_slot_seconds_float_edge(self):
+        # 0.3 / 0.1 is 2.9999... in floats; the epsilon guard must
+        # still treat it as an exact boundary.
+        tl = make(slots=10, dt=0.1)
+        assert tl.deadline_slot(0.3) == 3
 
     @given(st.floats(0.0, 10_000.0))
     def test_deadline_slot_bounds(self, deadline):
