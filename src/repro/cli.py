@@ -14,7 +14,11 @@ Commands
     ``--results-dir`` persists the table plus its run manifest.
 ``obs``
     Observability utilities; ``obs summarize trace.jsonl`` renders
-    event counts and per-phase timings from a trace file.
+    event counts and per-phase timings from a trace file;
+    ``obs trace trace.jsonl`` reassembles the span records into the
+    hierarchical call tree with total/self wall-clock per span and
+    the hot-span table (``--check`` exits 6 unless the tree is a
+    single root with no orphans).
 ``export-trace``
     Write a synthetic solar trace as a MIDC-style CSV.
 ``bench``
@@ -218,6 +222,23 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="summarise a JSONL event trace"
     )
     summarize.add_argument("trace", help="path to a trace.jsonl file")
+    span_tree = obs_sub.add_parser(
+        "trace", help="render the span tree of a JSONL event trace"
+    )
+    span_tree.add_argument(
+        "trace",
+        help="path to a trace.jsonl file (or a run directory "
+        "containing one)",
+    )
+    span_tree.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hot-span table (default 10)",
+    )
+    span_tree.add_argument(
+        "--check", action="store_true",
+        help="exit 6 unless the trace reassembles into exactly one "
+        "rooted tree with no orphan spans",
+    )
 
     export = commands.add_parser(
         "export-trace", help="write synthetic weather as MIDC CSV"
@@ -250,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workers", type=int, default=4, metavar="N",
         help="process count for the parallel-suite benchmark (default 4)",
+    )
+    bench.add_argument(
+        "--history", action="store_true",
+        help="print the trend table from the history store and exit "
+        "(no benchmarks are run)",
+    )
+    bench.add_argument(
+        "--history-file", default=None, metavar="PATH",
+        help="trend store location (default .benchmarks/history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history store",
     )
 
     cache_cmd = commands.add_parser(
@@ -351,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="PATH",
         help="write a run-provenance manifest (JSON) to PATH",
     )
+    fleet_run.add_argument(
+        "--progress", action="store_true",
+        help="print a live heartbeat line per completed shard "
+        "(stderr), fed by the event stream",
+    )
     fleet_report = fleet_sub.add_parser(
         "report", help="re-render a saved fleet result"
     )
@@ -406,6 +445,11 @@ def _cmd_simulate(args, out) -> int:
         sinks.append(JsonlSink(args.trace))
     observe = bool(sinks) or args.profile or bool(args.manifest)
     observer = Observer(sinks=sinks) if observe else None
+    if observer is not None:
+        observer.start_trace(
+            "simulate", args.benchmark, args.scheduler, args.days,
+            args.seed,
+        )
 
     t0 = time.perf_counter()
     try:
@@ -536,11 +580,56 @@ def _cmd_obs(args, out) -> int:
             )
             return 2
         return 0
+    if args.obs_command == "trace":
+        from pathlib import Path
+
+        from .obs import read_jsonl
+        from .obs.trace import build_span_tree, render_span_tree
+
+        path = Path(args.trace)
+        if path.is_dir():
+            path = path / "trace.jsonl"
+        try:
+            records = read_jsonl(path)
+        except FileNotFoundError:
+            print(f"error: no such trace file: {path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: {path} is not a JSONL event trace ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        spans = [r for r in records if r.get("kind") == "span"]
+        if not spans:
+            print(f"no span records in {path}", file=out)
+            return 2 if args.check else 0
+        print(render_span_tree(spans, top=args.top), file=out)
+        if args.check:
+            tree = build_span_tree(spans)
+            problems = []
+            if len(tree.roots) != 1:
+                problems.append(f"{len(tree.roots)} root span(s), want 1")
+            if tree.orphans:
+                problems.append(f"{len(tree.orphans)} orphan span(s)")
+            if problems:
+                print(
+                    f"span-tree check failed: {'; '.join(problems)}",
+                    file=sys.stderr,
+                )
+                return 6
+            print("span-tree check: single root, no orphans", file=out)
+        return 0
     raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _cmd_bench(args, out) -> int:
     from .perf import bench as perf_bench
+
+    history_path = args.history_file or perf_bench.HISTORY_PATH
+    if args.history:
+        print(perf_bench.render_history(history_path), file=out)
+        return 0
 
     report = perf_bench.run_bench(quick=args.quick, workers=args.workers)
     path = perf_bench.write_report(report, args.out)
@@ -574,6 +663,9 @@ def _cmd_bench(args, out) -> int:
         file=out,
     )
     print(f"report:        {path}", file=out)
+    if not args.no_history:
+        hist = perf_bench.append_history(report, history_path)
+        print(f"history:       {hist}", file=out)
     if args.baseline:
         failures = perf_bench.compare_to_baseline(
             report, args.baseline, args.max_regression
@@ -676,6 +768,10 @@ def _cmd_fleet(args, out) -> int:
     sinks = []
     if args.trace:
         sinks.append(JsonlSink(args.trace))
+    if args.progress:
+        from .obs import HeartbeatSink
+
+        sinks.append(HeartbeatSink())
     observer = Observer(sinks=sinks) if sinks or args.manifest else None
 
     t0 = time.perf_counter()

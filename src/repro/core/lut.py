@@ -154,44 +154,54 @@ class LookupTable:
     # ------------------------------------------------------------------
     def build(self, solar_periods: np.ndarray) -> "LookupTable":
         """Populate the table from historical per-period solar data."""
-        self.centroids, _ = solar_classes(
-            solar_periods, self.num_solar_classes
-        )
-        self.entries = []
-        n = len(self.graph)
-        for class_idx, centroid in enumerate(self.centroids):
-            profile = self.profiler.profile(centroid)
-            for h, cap in enumerate(self.capacitors):
-                voltages = np.linspace(
-                    cap.v_cutoff, cap.v_full, self.num_voltage_levels
-                )
-                for v in voltages:
-                    usable = cap.energy_at(v) - cap.energy_at(cap.v_cutoff)
-                    for k in range(n + 1):
-                        if not profile.feasible[k]:
-                            continue
-                        need = float(profile.storage_need[k])
-                        eta = cap.discharge_efficiency(v)
-                        drawn = need / eta if eta > 0 else np.inf
-                        feasible = drawn <= usable + 1e-9
-                        self.entries.append(
-                            LUTEntry(
-                                dmr=profile.dmr_of(k),
-                                solar_class=class_idx,
-                                cap_index=h,
-                                voltage=float(v),
-                                consumed_energy=float(drawn)
-                                if np.isfinite(drawn)
-                                else float("inf"),
-                                te=profile.subsets[k].copy(),
-                                alpha=float(
-                                    np.clip(profile.alpha[k], 0.0, 5.0)
+        from ..obs.trace import current_tracer
+
+        with current_tracer().span(
+            "lut_build",
+            attrs={
+                "solar_classes": self.num_solar_classes,
+                "voltage_levels": self.num_voltage_levels,
+            },
+        ) as span:
+            self.centroids, _ = solar_classes(
+                solar_periods, self.num_solar_classes
+            )
+            self.entries = []
+            n = len(self.graph)
+            for class_idx, centroid in enumerate(self.centroids):
+                profile = self.profiler.profile(centroid)
+                for h, cap in enumerate(self.capacitors):
+                    voltages = np.linspace(
+                        cap.v_cutoff, cap.v_full, self.num_voltage_levels
+                    )
+                    for v in voltages:
+                        usable = cap.energy_at(v) - cap.energy_at(cap.v_cutoff)
+                        for k in range(n + 1):
+                            if not profile.feasible[k]:
+                                continue
+                            need = float(profile.storage_need[k])
+                            eta = cap.discharge_efficiency(v)
+                            drawn = need / eta if eta > 0 else np.inf
+                            feasible = drawn <= usable + 1e-9
+                            self.entries.append(
+                                LUTEntry(
+                                    dmr=profile.dmr_of(k),
+                                    solar_class=class_idx,
+                                    cap_index=h,
+                                    voltage=float(v),
+                                    consumed_energy=float(drawn)
+                                    if np.isfinite(drawn)
+                                    else float("inf"),
+                                    te=profile.subsets[k].copy(),
+                                    alpha=float(
+                                        np.clip(profile.alpha[k], 0.0, 5.0)
+                                    )
+                                    if k > 0
+                                    else 0.0,
+                                    feasible=bool(feasible),
                                 )
-                                if k > 0
-                                else 0.0,
-                                feasible=bool(feasible),
                             )
-                        )
+            span.annotate(entries=len(self.entries))
         return self
 
     def __len__(self) -> int:

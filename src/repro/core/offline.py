@@ -195,56 +195,79 @@ class OfflinePipeline:
         When an :class:`~repro.perf.cache.ArtifactCache` is supplied,
         the trained policy is loaded from (or stored into) the cache
         under :meth:`cache_key`, skipping sizing, the DP and DBN
-        training entirely on a hit.
+        training entirely on a hit.  With an ambient tracer active
+        the three stages get ``sizing`` / ``longterm_dp`` /
+        ``dbn_train`` spans under one ``offline_pipeline`` parent.
         """
-        digest = None
-        if cache is not None:
-            digest = self.cache_key(training_trace, panel)
-            cached = cache.get("policy", digest)
-            if cached is not None:
-                return cached
-        tl = training_trace.timeline
-        capacitors = self.size_capacitors(training_trace)
+        from ..obs.trace import current_tracer
 
-        optimizer = LongTermOptimizer(
-            self.graph,
-            tl,
-            capacitors,
-            config=dataclasses.replace(
-                self.dp_config, switch_threshold=self.switch_threshold
-            ),
-        )
-        plan = optimizer.optimize(
-            trace_period_matrix(training_trace),
-            extract_matrices=False,
-            augment_per_period=self.augment_per_period,
-            augment_seed=self.seed + 1,
-        )
+        tracer = current_tracer()
+        with tracer.span(
+            "offline_pipeline",
+            attrs={
+                "graph": self.graph.name,
+                "train_days": training_trace.timeline.num_days,
+            },
+        ) as root:
+            digest = None
+            if cache is not None:
+                digest = self.cache_key(training_trace, panel)
+                cached = cache.get("policy", digest)
+                if cached is not None:
+                    root.annotate(cache_hit=True)
+                    return cached
+            tl = training_trace.timeline
+            with tracer.span("sizing"):
+                capacitors = self.size_capacitors(training_trace)
 
-        panel = panel or SolarPanel()
-        codec = FeatureCodec(
-            slots_per_period=tl.slots_per_period,
-            capacitors=tuple(capacitors),
-            solar_scale=max(panel.peak_power, 1e-9),
-        )
-        x, caps, alphas, tes = codec.encode_samples(plan.samples)
-        heads = HeadSpec(
-            num_capacitors=len(capacitors), num_tasks=len(self.graph)
-        )
-        dbn = DBN(
-            input_size=codec.input_size,
-            hidden_sizes=self.hidden_sizes,
-            heads=heads,
-            seed=self.seed,
-        )
-        dbn.fit(
-            x,
-            caps,
-            alphas,
-            tes,
-            pretrain_epochs=self.pretrain_epochs,
-            finetune_epochs=self.finetune_epochs,
-        )
+            optimizer = LongTermOptimizer(
+                self.graph,
+                tl,
+                capacitors,
+                config=dataclasses.replace(
+                    self.dp_config, switch_threshold=self.switch_threshold
+                ),
+            )
+            with tracer.span("longterm_dp"):
+                plan = optimizer.optimize(
+                    trace_period_matrix(training_trace),
+                    extract_matrices=False,
+                    augment_per_period=self.augment_per_period,
+                    augment_seed=self.seed + 1,
+                )
+
+            panel = panel or SolarPanel()
+            codec = FeatureCodec(
+                slots_per_period=tl.slots_per_period,
+                capacitors=tuple(capacitors),
+                solar_scale=max(panel.peak_power, 1e-9),
+            )
+            x, caps, alphas, tes = codec.encode_samples(plan.samples)
+            heads = HeadSpec(
+                num_capacitors=len(capacitors), num_tasks=len(self.graph)
+            )
+            dbn = DBN(
+                input_size=codec.input_size,
+                hidden_sizes=self.hidden_sizes,
+                heads=heads,
+                seed=self.seed,
+            )
+            with tracer.span(
+                "dbn_train",
+                attrs={
+                    "samples": len(plan.samples),
+                    "pretrain_epochs": self.pretrain_epochs,
+                    "finetune_epochs": self.finetune_epochs,
+                },
+            ):
+                dbn.fit(
+                    x,
+                    caps,
+                    alphas,
+                    tes,
+                    pretrain_epochs=self.pretrain_epochs,
+                    finetune_epochs=self.finetune_epochs,
+                )
 
         policy = TrainedPolicy(
             graph=self.graph,

@@ -24,8 +24,9 @@ from ..core import (
     trace_period_matrix,
 )
 from ..obs import Observer, build_manifest
+from ..obs.trace import current_tracer
 from ..perf.cache import cache_enabled, default_cache
-from ..perf.parallel import parallel_map, resolve_workers
+from ..perf.parallel import resolve_workers, traced_map
 from ..schedulers import InterTaskScheduler, IntraTaskScheduler, Scheduler
 from ..sim.engine import simulate
 from ..sim.recorder import SimulationResult
@@ -247,20 +248,31 @@ def evaluation_suite(
     """
     policy = policy or train_policy(graph)
     workers = resolve_workers(n_workers)
+    tracer = current_tracer()
     if observer is None and workers > 1 and len(include) > 1:
         cells = [(graph, trace, policy, name) for name in include]
-        return dict(parallel_map(_suite_cell, cells, n_workers=workers))
+        return dict(
+            traced_map(
+                _suite_cell,
+                cells,
+                name="suite_cell",
+                keys=list(include),
+                n_workers=workers,
+                tracer=tracer,
+            )
+        )
     results: Dict[str, SimulationResult] = {}
     for name in include:
-        scheduler = _suite_scheduler(name, graph, trace, policy)
-        results[name] = simulate(
-            policy.make_node(),
-            graph,
-            trace,
-            scheduler,
-            strict=False,
-            observer=observer,
-        )
+        with tracer.span("suite_cell", key=name):
+            scheduler = _suite_scheduler(name, graph, trace, policy)
+            results[name] = simulate(
+                policy.make_node(),
+                graph,
+                trace,
+                scheduler,
+                strict=False,
+                observer=observer,
+            )
     return results
 
 

@@ -18,7 +18,12 @@ Quickstart::
 CLI: ``repro fleet run --nodes 200 --seed 0 --workers 4``.
 """
 
-from .result import FLEET_RESULT_SCHEMA, FleetResult, NodeSummary
+from .result import (
+    FLEET_RESULT_SCHEMA,
+    FleetAggregate,
+    FleetResult,
+    NodeSummary,
+)
 from .runner import DEFAULT_SHARD_SIZE, FleetRunner, run_fleet, simulate_node
 from .spec import FLEET_POLICIES, FleetSpec, NodeSpec, node_trace
 
@@ -26,6 +31,7 @@ __all__ = [
     "DEFAULT_SHARD_SIZE",
     "FLEET_POLICIES",
     "FLEET_RESULT_SCHEMA",
+    "FleetAggregate",
     "FleetResult",
     "FleetRunner",
     "FleetSpec",

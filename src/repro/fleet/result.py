@@ -11,6 +11,16 @@ comparisons across heterogeneous hardware and workloads.
 ``FleetResult.fingerprint()`` digests every node summary in node-id
 order, so it is bit-identical for any worker count or shard size and
 serves as the determinism contract of a fleet run.
+
+:class:`FleetAggregate` is the memory-bounded companion (the on-ramp
+to ROADMAP item 3): per-shard mergeable sketches — DMR and
+utilization histograms, counters, per-policy partial sums — that fold
+associatively in any grouping, plus per-shard *sub-fingerprints*
+whose order-independent combination gives the aggregate its own
+determinism witness without holding the node list.  ``FleetResult``
+delegates its percentile/histogram fields to the aggregate, so the
+population numbers a 100-node run reports are computed exactly the
+way a 1M-node streaming run would compute them.
 """
 
 from __future__ import annotations
@@ -19,16 +29,24 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["NodeSummary", "FleetResult"]
+from ..obs.sketch import CounterBag, FixedHistogram
+
+__all__ = ["NodeSummary", "FleetResult", "FleetAggregate"]
 
 #: Bump when the summary layout changes; saved results are rejected.
 FLEET_RESULT_SCHEMA = 1
 
 __all__.append("FLEET_RESULT_SCHEMA")
+
+#: Sketch resolutions: DMR quantiles are read off a 256-bin histogram
+#: (error ≤ 1/256), utilization histograms from a 100-bin one so every
+#: divisor view (2/4/5/10/20/25/50 bins) downsamples exactly.
+DMR_SKETCH_BINS = 256
+UTIL_SKETCH_BINS = 100
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +79,225 @@ class NodeSummary:
         return cls(**rec)
 
 
+def _node_digest(node: "NodeSummary") -> int:
+    """256-bit content digest of one node summary (fold-able)."""
+    h = hashlib.sha256(
+        repr(
+            (
+                node.node_id,
+                node.graph_kind,
+                node.policy,
+                node.num_tasks,
+                node.panel_scale,
+                tuple(node.bank_farads),
+                node.dmr,
+                node.energy_utilization,
+                node.migration_efficiency,
+                node.brownout_slots,
+                node.solar_energy,
+                node.load_energy,
+                node.fingerprint,
+            )
+        ).encode()
+    )
+    return int(h.hexdigest(), 16)
+
+
+class FleetAggregate:
+    """Mergeable, memory-bounded population statistics for one fleet.
+
+    Built per shard (:meth:`from_nodes`) and folded with
+    :meth:`merge`, which is associative and commutative: any grouping
+    of the same shards yields the same aggregate — including
+    :meth:`fingerprint`, which combines per-node digests with an
+    order-independent XOR fold recorded per shard in
+    ``sub_fingerprints``.  The node-sorted
+    :meth:`FleetResult.fingerprint` stays the primary determinism
+    contract; this one is the streaming-scale witness that never
+    needs the node list in memory.
+    """
+
+    def __init__(
+        self,
+        dmr: Optional[FixedHistogram] = None,
+        util: Optional[FixedHistogram] = None,
+        counters: Optional[CounterBag] = None,
+        policies: Optional[Dict[str, Dict[str, float]]] = None,
+        sub_fingerprints: Optional[
+            Sequence[Dict[str, object]]
+        ] = None,
+    ) -> None:
+        self.dmr = dmr or FixedHistogram.linear(0.0, 1.0, DMR_SKETCH_BINS)
+        self.util = util or FixedHistogram.linear(
+            0.0, 1.0, UTIL_SKETCH_BINS
+        )
+        self.counters = counters or CounterBag()
+        self.policies: Dict[str, Dict[str, float]] = {
+            k: dict(v) for k, v in (policies or {}).items()
+        }
+        self.sub_fingerprints: List[Dict[str, object]] = [
+            dict(s) for s in (sub_fingerprints or [])
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_nodes(
+        cls, nodes: Iterable["NodeSummary"]
+    ) -> "FleetAggregate":
+        """Absorb one shard's summaries into a fresh aggregate."""
+        agg = cls()
+        fold = 0
+        ids: List[int] = []
+        for node in sorted(nodes, key=lambda n: n.node_id):
+            ids.append(node.node_id)
+            fold ^= _node_digest(node)
+            agg.dmr.add(node.dmr)
+            agg.util.add(min(max(node.energy_utilization, 0.0), 1.0))
+            agg.counters.inc("nodes")
+            agg.counters.inc("brownout_slots", node.brownout_slots)
+            if node.brownout_slots > 0:
+                agg.counters.inc("nodes_with_brownouts")
+            stats = agg.policies.setdefault(
+                node.policy,
+                {
+                    "nodes": 0.0,
+                    "dmr_sum": 0.0,
+                    "util_sum": 0.0,
+                    "brownout_slots": 0.0,
+                },
+            )
+            stats["nodes"] += 1
+            stats["dmr_sum"] += node.dmr
+            stats["util_sum"] += node.energy_utilization
+            stats["brownout_slots"] += node.brownout_slots
+        if ids:
+            if len(set(ids)) != len(ids):
+                raise ValueError("duplicate node ids in shard")
+            agg.sub_fingerprints = [
+                {
+                    "lo": min(ids),
+                    "hi": max(ids),
+                    "n": len(ids),
+                    "digest": f"{fold:064x}",
+                }
+            ]
+        return agg
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.dmr.count
+
+    def merge(self, other: "FleetAggregate") -> "FleetAggregate":
+        """Associative, commutative fold of two disjoint aggregates.
+
+        Shards must cover disjoint node-id *ranges* (fleet shards are
+        contiguous), which is how duplicate ingestion is caught
+        without remembering individual ids.
+        """
+        for a in self.sub_fingerprints:
+            for b in other.sub_fingerprints:
+                if a["lo"] <= b["hi"] and b["lo"] <= a["hi"]:
+                    raise ValueError(
+                        "cannot merge aggregates with overlapping "
+                        f"node-id ranges [{a['lo']}, {a['hi']}] and "
+                        f"[{b['lo']}, {b['hi']}]"
+                    )
+        policies = {k: dict(v) for k, v in self.policies.items()}
+        for name, theirs in other.policies.items():
+            mine = policies.setdefault(
+                name,
+                {
+                    "nodes": 0.0,
+                    "dmr_sum": 0.0,
+                    "util_sum": 0.0,
+                    "brownout_slots": 0.0,
+                },
+            )
+            for field, value in theirs.items():
+                mine[field] = mine.get(field, 0.0) + value
+        subs = sorted(
+            self.sub_fingerprints + other.sub_fingerprints,
+            key=lambda s: (s["lo"], s["hi"]),
+        )
+        return FleetAggregate(
+            dmr=self.dmr.merge(other.dmr),
+            util=self.util.merge(other.util),
+            counters=self.counters.merge(other.counters),
+            policies=policies,
+            sub_fingerprints=subs,
+        )
+
+    def fingerprint(self) -> str:
+        """Order-independent digest over the per-shard sub-digests."""
+        fold = 0
+        for sub in self.sub_fingerprints:
+            fold ^= int(str(sub["digest"]), 16)
+        return hashlib.sha256(
+            repr(("fleet-aggregate", self.n_nodes, f"{fold:064x}")).encode()
+        ).hexdigest()
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_dmr(self) -> float:
+        return self.dmr.mean
+
+    def dmr_percentiles(
+        self, percentiles: Sequence[float] = (5, 25, 50, 75, 95, 99)
+    ) -> Dict[str, float]:
+        return self.dmr.percentiles(percentiles)
+
+    def utilization_histogram(
+        self, bins: int = 10
+    ) -> Tuple[List[int], List[float]]:
+        return self.util.downsample(bins)
+
+    @property
+    def total_brownout_slots(self) -> int:
+        return int(self.counters["brownout_slots"])
+
+    @property
+    def brownout_node_fraction(self) -> float:
+        n = self.n_nodes
+        return self.counters["nodes_with_brownouts"] / n if n else 0.0
+
+    def by_policy(self) -> Dict[str, Dict[str, float]]:
+        """Per-policy partial-sum aggregates (means, not percentiles)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for policy, stats in sorted(self.policies.items()):
+            n = max(stats["nodes"], 1.0)
+            out[policy] = {
+                "nodes": stats["nodes"],
+                "mean_dmr": stats["dmr_sum"] / n,
+                "mean_utilization": stats["util_sum"] / n,
+                "brownout_slots": stats["brownout_slots"],
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": FLEET_RESULT_SCHEMA,
+            "n_nodes": self.n_nodes,
+            "fingerprint": self.fingerprint(),
+            "dmr": self.dmr.to_dict(),
+            "util": self.util.to_dict(),
+            "counters": self.counters.to_dict(),
+            "policies": {k: dict(v) for k, v in self.policies.items()},
+            "sub_fingerprints": [dict(s) for s in self.sub_fingerprints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetAggregate":
+        return cls(
+            dmr=FixedHistogram.from_dict(data["dmr"]),
+            util=FixedHistogram.from_dict(data["util"]),
+            counters=CounterBag.from_dict(data["counters"]),
+            policies=data.get("policies") or {},
+            sub_fingerprints=data.get("sub_fingerprints") or [],
+        )
+
+
 class FleetResult:
     """All node summaries of one fleet run plus derived aggregates."""
 
@@ -68,6 +305,7 @@ class FleetResult:
         self,
         nodes: Sequence[NodeSummary],
         config: Optional[Dict[str, object]] = None,
+        aggregate: Optional[FleetAggregate] = None,
     ) -> None:
         nodes = sorted(nodes, key=lambda n: n.node_id)
         ids = [n.node_id for n in nodes]
@@ -77,9 +315,22 @@ class FleetResult:
             raise ValueError("fleet result needs at least one node")
         self.nodes: List[NodeSummary] = list(nodes)
         self.config: Dict[str, object] = dict(config or {})
+        if aggregate is not None and aggregate.n_nodes != len(nodes):
+            raise ValueError(
+                f"aggregate covers {aggregate.n_nodes} node(s), result "
+                f"has {len(nodes)}"
+            )
+        self._aggregate = aggregate
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    @property
+    def aggregate(self) -> FleetAggregate:
+        """The mergeable sketch view (built on demand if not supplied)."""
+        if self._aggregate is None:
+            self._aggregate = FleetAggregate.from_nodes(self.nodes)
+        return self._aggregate
 
     # ------------------------------------------------------------------
     # Distribution metrics
@@ -94,10 +345,12 @@ class FleetResult:
     def dmr_percentiles(
         self, percentiles: Sequence[float] = (5, 25, 50, 75, 95, 99)
     ) -> Dict[str, float]:
-        values = self.dmr_values()
-        return {
-            f"p{p:g}": float(np.percentile(values, p)) for p in percentiles
-        }
+        """Population DMR quantiles, read off the mergeable sketch.
+
+        Same numbers a streaming fleet would report: within one sketch
+        bin (1/:data:`DMR_SKETCH_BINS`) of the nearest-rank sample.
+        """
+        return self.aggregate.dmr_percentiles(percentiles)
 
     @property
     def total_brownout_slots(self) -> int:
@@ -113,12 +366,22 @@ class FleetResult:
     def utilization_histogram(
         self, bins: int = 10
     ) -> Tuple[List[int], List[float]]:
-        """Energy-utilization counts over ``bins`` equal bins on [0, 1]."""
-        values = np.clip(
-            [n.energy_utilization for n in self.nodes], 0.0, 1.0
-        )
-        counts, edges = np.histogram(values, bins=bins, range=(0.0, 1.0))
-        return counts.astype(int).tolist(), edges.tolist()
+        """Energy-utilization counts over ``bins`` equal bins on [0, 1].
+
+        Served by downsampling the aggregate's fixed 100-bin sketch
+        (bit-identical to ``np.histogram`` for any divisor of 100);
+        other bin counts fall back to the exact per-node computation.
+        """
+        try:
+            return self.aggregate.utilization_histogram(bins)
+        except ValueError:
+            values = np.clip(
+                [n.energy_utilization for n in self.nodes], 0.0, 1.0
+            )
+            counts, edges = np.histogram(
+                values, bins=bins, range=(0.0, 1.0)
+            )
+            return counts.astype(int).tolist(), edges.tolist()
 
     # ------------------------------------------------------------------
     # Cohort views
@@ -215,6 +478,7 @@ class FleetResult:
                 np.mean([n.energy_utilization for n in self.nodes])
             ),
             "fingerprint": self.fingerprint(),
+            "aggregate_fingerprint": self.aggregate.fingerprint(),
         }
 
     def render(self) -> str:
@@ -266,6 +530,7 @@ class FleetResult:
             "config": self.config,
             "fingerprint": self.fingerprint(),
             "summary": self.summary(),
+            "aggregate": self.aggregate.to_dict(),
             "nodes": [n.to_dict() for n in self.nodes],
         }
 

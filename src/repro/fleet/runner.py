@@ -3,10 +3,11 @@
 A :class:`FleetRunner` expands a :class:`~repro.fleet.spec.FleetSpec`
 into shards of node ids and fans them out over
 :func:`repro.perf.parallel.parallel_map`.  Each shard is a tiny
-picklable work item ``(spec, node_ids)``; the worker rebuilds the base
-trace, derives every node's configuration from ``(fleet seed, node
-id)``, simulates it and returns one
-:class:`~repro.fleet.result.NodeSummary` per node.
+picklable work item ``(spec, node_ids, shard_index, span_context)``;
+the worker rebuilds the base trace, derives every node's configuration
+from ``(fleet seed, node id)``, simulates it inside ``shard``/``node``
+spans and returns one :class:`~repro.fleet.result.NodeSummary` per
+node plus its collected span records.
 
 Two layers of reuse ride on the existing artifact cache:
 
@@ -33,6 +34,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..energy.capacitor import SuperCapacitor
 from ..node.node import SensorNode
 from ..obs.events import NULL_OBSERVER, Observer
+from ..obs.sketch import P2Quantile
+from ..obs.trace import NULL_TRACER, activate, collecting_tracer
 from ..perf.cache import ArtifactCache, cache_enabled, default_cache, hash_key
 from ..perf.parallel import parallel_map, resolve_workers
 from ..schedulers import (
@@ -45,7 +48,7 @@ from ..schedulers import (
 from ..sim.checkpoint import result_fingerprint
 from ..sim.engine import simulate
 from ..verify.strategies import build_graph
-from .result import FleetResult, NodeSummary
+from .result import FleetAggregate, FleetResult, NodeSummary
 from .spec import FleetSpec, NodeSpec, node_trace
 
 __all__ = [
@@ -147,19 +150,42 @@ def simulate_node(fleet: FleetSpec, base_trace, spec: NodeSpec) -> NodeSummary:
     )
 
 
-def _run_shard(item: Tuple[FleetSpec, Tuple[int, ...]]):
+def _run_shard(item):
     """Worker entry point: simulate one shard of node ids.
 
     Module-level (picklable) on purpose; rebuilds the shared base trace
     once per shard rather than shipping the power array per item.
+
+    The work item is ``(spec, node_ids, shard_index, ctx_wire)``:
+    ``ctx_wire`` is the parent's serialized span context (or ``None``
+    when untraced).  The worker opens a ``shard`` span keyed by the
+    shard index and one ``node`` span per node id — explicit keys, so
+    the span ids are identical whichever process runs the shard — and
+    returns the collected span records with the summaries for the
+    parent to re-emit.
     """
-    fleet, node_ids = item
+    fleet, node_ids, shard_index, ctx_wire = item
     start = time.perf_counter()
+    tracer, records = collecting_tracer(ctx_wire)
     base = fleet.base_trace()
-    summaries = [
-        simulate_node(fleet, base, fleet.node_spec(i)) for i in node_ids
-    ]
-    return summaries, time.perf_counter() - start
+    summaries = []
+    with activate(tracer):
+        with tracer.span(
+            "shard",
+            key=shard_index,
+            attrs={"shard_index": shard_index, "n_nodes": len(node_ids)},
+        ):
+            for node_id in node_ids:
+                spec = fleet.node_spec(node_id)
+                with tracer.span(
+                    "node",
+                    key=node_id,
+                    attrs={"node_id": node_id, "policy": spec.policy},
+                ) as span:
+                    summary = simulate_node(fleet, base, spec)
+                    span.annotate(dmr=summary.dmr)
+                summaries.append(summary)
+    return summaries, time.perf_counter() - start, records
 
 
 # ----------------------------------------------------------------------
@@ -231,42 +257,107 @@ class FleetRunner:
         """Simulate every node; returns the aggregate.
 
         Checkpointed shards are loaded instead of recomputed; pending
-        shards fan out over the process pool and are checkpointed as
-        they land.  Summaries always combine in node-id order, so the
-        aggregate fingerprint is independent of all of this.
+        shards fan out over the process pool, are checkpointed as they
+        land, and emit their ``fleet_shard`` event *at completion* (in
+        completion order — this is the live-progress pulse).
+        Summaries always combine in node-id order, so the aggregate
+        fingerprint is independent of all of this.
+
+        When the observer is enabled the run is traced: a ``fleet_run``
+        root span whose context rides inside each worker payload, so
+        shard/node spans from every process reassemble under one root.
         """
         shards = self.shards()
         start = time.perf_counter()
+        obs = self.observer
+        tracer = getattr(obs, "tracer", None)
+        if tracer is None:
+            tracer = (
+                obs.start_trace("fleet", self.spec.seed, self.spec.n_nodes)
+                if obs.enabled
+                else NULL_TRACER
+            )
         ready: dict = {}
         pending: List[int] = []
-        for index, node_ids in enumerate(shards):
-            cached = (
-                self.cache.get(SHARD_KIND, self._shard_digest(node_ids))
-                if self.cache is not None
-                else None
-            )
-            if cached is not None:
-                ready[index] = cached
-                self.observer.fleet_shard(
-                    index, len(shards), node_ids, cached=True, seconds=0.0
-                )
-            else:
-                pending.append(index)
+        shard_aggs: dict = {}
+        dmr_stream = P2Quantile(0.5)
 
-        computed = parallel_map(
-            _run_shard,
-            [(self.spec, shards[i]) for i in pending],
-            n_workers=self.workers,
-        )
-        for index, (summaries, seconds) in zip(pending, computed):
-            ready[index] = summaries
-            if self.cache is not None:
-                self.cache.put(
-                    SHARD_KIND, self._shard_digest(shards[index]), summaries
+        with tracer.span(
+            "fleet_run",
+            attrs={
+                "n_nodes": self.spec.n_nodes,
+                "num_shards": len(shards),
+                "workers": self.workers,
+            },
+        ):
+            for index, node_ids in enumerate(shards):
+                cached = (
+                    self.cache.get(SHARD_KIND, self._shard_digest(node_ids))
+                    if self.cache is not None
+                    else None
                 )
-            self.observer.fleet_shard(
-                index, len(shards), shards[index], cached=False,
-                seconds=seconds,
+                if cached is not None:
+                    ready[index] = cached
+                    with tracer.span(
+                        "shard",
+                        key=index,
+                        attrs={
+                            "shard_index": index,
+                            "n_nodes": len(node_ids),
+                            "cached": True,
+                        },
+                    ):
+                        pass
+                    for summary in cached:
+                        dmr_stream.add(summary.dmr)
+                    obs.fleet_shard(
+                        index, len(shards), node_ids, cached=True,
+                        seconds=0.0,
+                        p50_dmr_est=dmr_stream.estimate(-1.0),
+                    )
+                else:
+                    pending.append(index)
+
+            wire = (
+                tracer.context().to_wire() if tracer.enabled else None
+            )
+
+            def _landed(position: int, out) -> None:
+                summaries, seconds, records = out
+                index = pending[position]
+                ready[index] = summaries
+                for record in records:
+                    obs.emit_record(record)
+                if self.cache is not None:
+                    self.cache.put(
+                        SHARD_KIND,
+                        self._shard_digest(shards[index]),
+                        summaries,
+                    )
+                for summary in summaries:
+                    dmr_stream.add(summary.dmr)
+                obs.fleet_shard(
+                    index, len(shards), shards[index], cached=False,
+                    seconds=seconds,
+                    p50_dmr_est=dmr_stream.estimate(-1.0),
+                )
+
+            parallel_map(
+                _run_shard,
+                [(self.spec, shards[i], i, wire) for i in pending],
+                n_workers=self.workers,
+                observer=obs,
+                on_result=_landed,
+            )
+
+        for index in sorted(ready):
+            shard_aggs[index] = FleetAggregate.from_nodes(ready[index])
+        aggregate: Optional[FleetAggregate] = None
+        for index in sorted(shard_aggs):
+            aggregate = (
+                shard_aggs[index]
+                if aggregate is None
+                else aggregate.merge(shard_aggs[index])
             )
 
         nodes = [s for index in sorted(ready) for s in ready[index]]
@@ -281,6 +372,7 @@ class FleetRunner:
                 "wall_time_s": wall,
                 "nodes_per_s": len(nodes) / wall if wall > 0 else 0.0,
             },
+            aggregate=aggregate,
         )
         self.observer.finish(
             result_summary=result.summary(), scheduler="fleet"

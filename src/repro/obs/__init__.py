@@ -10,7 +10,13 @@ Zero-dependency tracing, metrics, profiling and run provenance:
 * :mod:`repro.obs.sinks` — JSONL trace files, ring buffers, console
   summaries, and the ``repro obs summarize`` renderer;
 * :mod:`repro.obs.manifest` — reproducibility manifests written next
-  to experiment results.
+  to experiment results;
+* :mod:`repro.obs.trace` — hierarchical spans with deterministic ids
+  that survive process boundaries (``repro obs trace`` reassembles a
+  multi-worker run into one rooted tree);
+* :mod:`repro.obs.sketch` — memory-bounded mergeable aggregates
+  (counters, fixed-bin histograms, P² quantiles) with an associative
+  ``merge()`` for shard → fleet fold-ins.
 
 Quickstart::
 
@@ -36,10 +42,12 @@ from .events import (
     FaultScenarioEvent,
     FleetShardEvent,
     InvariantViolationEvent,
+    KNOWN_RECORD_KINDS,
     NULL_OBSERVER,
     Observer,
     PeriodEndEvent,
     PolicyFallbackEvent,
+    PoolDecisionEvent,
     SlotDecisionEvent,
 )
 from .manifest import (
@@ -54,10 +62,27 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import NULL_SPAN, PhaseProfiler, PhaseStat
 from .sinks import (
     ConsoleSummarySink,
+    HeartbeatSink,
     JsonlSink,
+    OBS_SCHEMA,
     RingBufferSink,
     read_jsonl,
     summarize_jsonl,
+)
+from .sketch import SKETCH_SCHEMA, CounterBag, FixedHistogram, P2Quantile
+from .trace import (
+    NULL_TRACER,
+    SPAN_SCHEMA,
+    SpanContext,
+    SpanTree,
+    Tracer,
+    activate,
+    build_span_tree,
+    collecting_tracer,
+    current_tracer,
+    derive_span_id,
+    derive_trace_id,
+    render_span_tree,
 )
 
 __all__ = [
@@ -75,8 +100,28 @@ __all__ = [
     "CheckpointEvent",
     "InvariantViolationEvent",
     "FleetShardEvent",
+    "PoolDecisionEvent",
+    "KNOWN_RECORD_KINDS",
     "Observer",
     "NULL_OBSERVER",
+    "Tracer",
+    "NULL_TRACER",
+    "SpanContext",
+    "SpanTree",
+    "SPAN_SCHEMA",
+    "derive_trace_id",
+    "derive_span_id",
+    "current_tracer",
+    "activate",
+    "collecting_tracer",
+    "build_span_tree",
+    "render_span_tree",
+    "CounterBag",
+    "FixedHistogram",
+    "P2Quantile",
+    "SKETCH_SCHEMA",
+    "OBS_SCHEMA",
+    "HeartbeatSink",
     "Counter",
     "Gauge",
     "Histogram",

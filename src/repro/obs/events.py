@@ -38,6 +38,8 @@ __all__ = [
     "CheckpointEvent",
     "InvariantViolationEvent",
     "FleetShardEvent",
+    "PoolDecisionEvent",
+    "KNOWN_RECORD_KINDS",
     "Observer",
     "NULL_OBSERVER",
 ]
@@ -237,6 +239,28 @@ class FleetShardEvent(Event):
     node_ids: Tuple[int, ...]
     cached: bool
     seconds: float
+    #: Running P² estimate of the fleet's median node DMR at the time
+    #: this shard landed; ``-1.0`` when unknown (no nodes seen yet).
+    p50_dmr_est: float = -1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolDecisionEvent(Event):
+    """How :func:`repro.perf.parallel.parallel_map` planned a fan-out.
+
+    ``mode`` is ``"pool"`` or ``"serial"``; ``reason`` is the
+    human-readable why (tiny job list, single-core host, ...).  No
+    simulation clock — planning happens outside any run.
+    """
+
+    kind = "pool_decision"
+
+    requested: int
+    cpu_count: int
+    items: int
+    workers: int
+    mode: str
+    reason: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -270,6 +294,7 @@ class Observer:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.profiler = PhaseProfiler() if enabled else None
+        self.tracer = None
         self.day = -1
         self.period = -1
         self.slot = -1
@@ -294,6 +319,28 @@ class Observer:
         record = event.to_dict()
         for sink in self.sinks:
             sink.write(record)
+
+    def emit_record(self, record: Dict[str, object]) -> None:
+        """Fan a raw record dict out (span records, worker re-emits)."""
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.write(record)
+
+    def start_trace(self, name: str, *parts):
+        """Attach a :class:`~repro.obs.trace.Tracer` with a derived id.
+
+        Span records flow through :meth:`emit_record` into the same
+        sinks as events.  Returns the disabled
+        :data:`~repro.obs.trace.NULL_TRACER` when this observer is
+        off, so callers can use the result unconditionally.
+        """
+        from .trace import NULL_TRACER, Tracer, derive_trace_id
+
+        if not self.enabled:
+            return NULL_TRACER
+        self.tracer = Tracer(self.emit_record, derive_trace_id(name, *parts))
+        return self.tracer
 
     # ------------------------------------------------------------------
     # Typed emit helpers (each guards itself; near-zero cost when off).
@@ -556,6 +603,7 @@ class Observer:
         node_ids: Sequence[int],
         cached: bool,
         seconds: float,
+        p50_dmr_est: float = -1.0,
     ) -> None:
         if not self.enabled:
             return
@@ -573,6 +621,33 @@ class Observer:
                 node_ids=tuple(int(i) for i in node_ids),
                 cached=bool(cached),
                 seconds=float(seconds),
+                p50_dmr_est=float(p50_dmr_est),
+            )
+        )
+
+    def pool_decision(
+        self,
+        requested: int,
+        cpu_count: int,
+        items: int,
+        workers: int,
+        mode: str,
+        reason: str,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("pool_decisions_total").inc()
+        self.emit(
+            PoolDecisionEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                requested=int(requested),
+                cpu_count=int(cpu_count),
+                items=int(items),
+                workers=int(workers),
+                mode=str(mode),
+                reason=str(reason),
             )
         )
 
@@ -613,3 +688,27 @@ class Observer:
 
 #: Disabled singleton: the engine's default when no observer is given.
 NULL_OBSERVER = Observer(sinks=(), enabled=False)
+
+#: Every record kind this build can emit: the typed events above plus
+#: the ``run_summary`` trailer and ``span`` trace records.  The
+#: summarize surface skips-and-counts anything outside this set, so
+#: traces from newer builds degrade gracefully instead of failing.
+KNOWN_RECORD_KINDS = frozenset(
+    cls.kind
+    for cls in (
+        SlotDecisionEvent,
+        DeadlineMissEvent,
+        BrownoutEvent,
+        CapacitorSwitchEvent,
+        CoarseDecisionEvent,
+        DeltaFallbackEvent,
+        PeriodEndEvent,
+        FaultInjectionEvent,
+        PolicyFallbackEvent,
+        FaultScenarioEvent,
+        CheckpointEvent,
+        InvariantViolationEvent,
+        FleetShardEvent,
+        PoolDecisionEvent,
+    )
+) | {"run_summary", "span"}

@@ -11,16 +11,24 @@ from __future__ import annotations
 
 import collections
 import json
+import sys
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Union
 
 __all__ = [
+    "OBS_SCHEMA",
     "JsonlSink",
     "RingBufferSink",
     "ConsoleSummarySink",
+    "HeartbeatSink",
     "read_jsonl",
     "summarize_jsonl",
 ]
+
+#: Version of the JSONL record layout; :class:`JsonlSink` stamps it on
+#: every record that does not already carry one, so a trace file is
+#: self-describing and future readers can dispatch on it.
+OBS_SCHEMA = 1
 
 
 class JsonlSink:
@@ -46,6 +54,8 @@ class JsonlSink:
         self._buffer_records = buffer_records
 
     def write(self, record: Dict[str, object]) -> None:
+        if "schema" not in record:
+            record = {**record, "schema": OBS_SCHEMA}
         self._buffer.append(json.dumps(record, separators=(",", ":")))
         if len(self._buffer) >= self._buffer_records:
             self._drain()
@@ -89,19 +99,32 @@ class RingBufferSink:
 
 
 class ConsoleSummarySink:
-    """Counts records per kind; renders a human-readable digest."""
+    """Counts records per kind; renders a human-readable digest.
+
+    Record kinds this build does not know (traces written by a newer
+    build, hand-edited files) are *skipped and counted* rather than
+    mixed into the event table or treated as an error.
+    """
 
     def __init__(self, stream=None) -> None:
         self.stream = stream
         self.counts: Dict[str, int] = collections.Counter()
+        self.unknown: Dict[str, int] = collections.Counter()
         self.trailer: Optional[Dict[str, object]] = None
 
     def write(self, record: Dict[str, object]) -> None:
+        from .events import KNOWN_RECORD_KINDS
+
+        if not isinstance(record, dict):
+            self.unknown["<not a record>"] += 1
+            return
         kind = str(record.get("kind"))
         if kind == "run_summary":
             self.trailer = record
-        else:
+        elif kind in KNOWN_RECORD_KINDS:
             self.counts[kind] += 1
+        else:
+            self.unknown[kind] += 1
 
     def render(self) -> str:
         lines = ["event counts:"]
@@ -109,6 +132,12 @@ class ConsoleSummarySink:
             lines.append(f"  {kind:<24} {count}")
         if not self.counts:
             lines.append("  (none)")
+        if self.unknown:
+            total = sum(self.unknown.values())
+            kinds = ", ".join(sorted(self.unknown))
+            lines.append(
+                f"skipped {total} record(s) of unknown kind: {kinds}"
+            )
         if self.trailer is not None:
             lines.append(_render_trailer(self.trailer))
         return "\n".join(lines)
@@ -116,6 +145,51 @@ class ConsoleSummarySink:
     def close(self) -> None:
         if self.stream is not None:
             print(self.render(), file=self.stream)
+
+
+class HeartbeatSink:
+    """Live one-line progress heartbeats (``repro fleet run --progress``).
+
+    Prints a line per ``fleet_shard`` record as it lands and keeps the
+    last ``capacity`` records in an internal :class:`RingBufferSink`,
+    so the progress surface doubles as a recent-events window.  Writes
+    go to ``stream`` (default stderr) immediately — no buffering — so
+    a long multi-worker fleet run shows a pulse instead of silence.
+    """
+
+    def __init__(self, stream=None, capacity: int = 256) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.ring = RingBufferSink(capacity=capacity)
+        self._done = 0
+
+    def write(self, record: Dict[str, object]) -> None:
+        self.ring.write(record)
+        kind = record.get("kind")
+        if kind == "fleet_shard":
+            self._done += 1
+            n = len(record.get("node_ids") or ())
+            cached = record.get("cached")
+            took = (
+                "cache hit"
+                if cached
+                else f"{float(record.get('seconds', 0.0)):.2f}s"
+            )
+            p50 = float(record.get("p50_dmr_est", -1.0))
+            est = f"  p50 dmr ~{p50:.3f}" if p50 >= 0.0 else ""
+            print(
+                f"[fleet {self._done}/{record.get('num_shards')}] "
+                f"shard {record.get('shard_index')}: {n} node(s) "
+                f"{took}{est}",
+                file=self.stream,
+                flush=True,
+            )
+        elif kind == "pool_decision":
+            print(
+                f"[pool] {record.get('mode')} x{record.get('workers')} "
+                f"({record.get('reason')})",
+                file=self.stream,
+                flush=True,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -161,7 +235,13 @@ def _render_trailer(trailer: Dict[str, object]) -> str:
 
 
 def summarize_jsonl(path: Union[str, Path]) -> str:
-    """Render a trace file the way ``repro obs summarize`` prints it."""
+    """Render a trace file the way ``repro obs summarize`` prints it.
+
+    Unknown record kinds are skipped and counted (see
+    :class:`ConsoleSummarySink`), so a trace written by a newer build
+    still summarizes; malformed JSON still raises — a corrupt file is
+    an error, a forward-compatible one is not.
+    """
     records = read_jsonl(path)
     summary = ConsoleSummarySink()
     for record in records:

@@ -28,12 +28,23 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-__all__ = ["run_bench", "compare_to_baseline", "write_report", "BENCH_VERSION"]
+__all__ = [
+    "run_bench",
+    "compare_to_baseline",
+    "write_report",
+    "append_history",
+    "render_history",
+    "BENCH_VERSION",
+    "HISTORY_PATH",
+]
 
 BENCH_VERSION = 1
 
 #: Default report location (repo root when run from there).
 DEFAULT_REPORT = "BENCH_perf.json"
+
+#: Trend store: one JSON line per bench run, appended over time.
+HISTORY_PATH = ".benchmarks/history.jsonl"
 
 #: CI gate: fail when slot throughput drops by more than this fraction.
 DEFAULT_MAX_REGRESSION = 0.30
@@ -206,6 +217,80 @@ def write_report(report: Dict[str, Any], path=DEFAULT_REPORT) -> Path:
     out = Path(path)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return out
+
+
+def append_history(report: Dict[str, Any], path=HISTORY_PATH) -> Path:
+    """Append one summary line for ``report`` to the trend store.
+
+    The store is a JSONL file (one bench run per line) so trends
+    survive across checkouts and CI runs; only the headline numbers
+    are kept, not the full phase breakdowns.
+    """
+    bench = report["benchmarks"]
+    entry = {
+        "schema": BENCH_VERSION,
+        "unix_time": time.time(),
+        "quick": report.get("quick", False),
+        "cpu_count": report.get("host", {}).get("cpu_count"),
+        "slots_per_sec": bench["slot_loop"]["slots_per_sec"],
+        "cache_speedup": bench["offline_training"]["cache_speedup"],
+        "parallel_speedup": bench["parallel_suite"]["speedup"],
+        "fleet_nodes_per_sec": bench["fleet"]["nodes_per_sec"],
+        "fleet_fingerprint": bench["fleet"]["fingerprint"],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return out
+
+
+def render_history(path=HISTORY_PATH) -> str:
+    """Human-readable trend table over the history store.
+
+    Streams the store through a :class:`~repro.obs.sketch.P2Quantile`
+    so the median line works on arbitrarily long histories without
+    holding them in memory.
+    """
+    from ..obs.sketch import P2Quantile
+
+    src = Path(path)
+    if not src.exists():
+        return f"no bench history at {src}"
+    median = P2Quantile(0.5)
+    rows: List[Dict[str, Any]] = []
+    with src.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            median.add(float(entry.get("slots_per_sec", 0.0)))
+            rows.append(entry)
+    if not rows:
+        return f"no bench history at {src}"
+    lines = [
+        f"bench history: {len(rows)} run(s) from {src}",
+        f"{'when (unix)':>14}  {'quick':>5}  {'slots/s':>10}  "
+        f"{'cache x':>8}  {'par x':>6}  {'fleet n/s':>10}",
+    ]
+    for entry in rows[-20:]:
+        lines.append(
+            f"{entry.get('unix_time', 0):>14.0f}  "
+            f"{str(bool(entry.get('quick'))):>5}  "
+            f"{entry.get('slots_per_sec', 0):>10.0f}  "
+            f"{entry.get('cache_speedup', 0):>8.1f}  "
+            f"{entry.get('parallel_speedup', 0):>6.2f}  "
+            f"{entry.get('fleet_nodes_per_sec', 0):>10.2f}"
+        )
+    latest = rows[-1].get("slots_per_sec", 0.0)
+    med = median.estimate(latest)
+    delta = 100.0 * (latest / med - 1.0) if med else 0.0
+    lines.append(
+        f"slot-loop median {med:.0f} slots/s over {len(rows)} run(s); "
+        f"latest {latest:.0f} ({delta:+.1f}% vs median)"
+    )
+    return "\n".join(lines)
 
 
 def compare_to_baseline(

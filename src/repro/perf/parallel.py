@@ -7,13 +7,20 @@ fans those cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
 while keeping the *results* — and therefore every downstream table and
 fingerprint — identical to a serial run:
 
-- the work list is materialised up front and mapped in order
-  (``ProcessPoolExecutor.map`` preserves input order, whatever order
-  the workers finish in);
+- the work list is materialised up front and results are reassembled
+  in input order, whatever order the workers finish in;
 - each cell carries its own seeds/config; nothing is derived from
   worker identity, scheduling order or wall-clock;
-- ``n_workers <= 1`` short-circuits to a plain in-process loop, so the
-  serial path stays the reference implementation.
+- the serial path stays the reference implementation, and the planner
+  *falls back to it* whenever a pool cannot win: one effective worker,
+  fewer than two items, or a host without spare cores
+  (``os.cpu_count()``).  Spawning four processes on a single-core box
+  is how the old code turned "parallel" into a 0.77x slowdown.
+
+Every fan-out decision can be recorded as a ``pool_decision`` obs
+event (pass an ``observer``), and span context propagates through
+:func:`traced_map` so worker-side spans reassemble under the caller's
+span tree.
 
 Worker count resolution order: explicit argument, then the
 ``REPRO_WORKERS`` environment variable, then 1 (serial).
@@ -22,12 +29,17 @@ Worker count resolution order: explicit argument, then the
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["parallel_map", "resolve_workers"]
+from ..obs.trace import activate, collecting_tracer, current_tracer
+
+__all__ = ["parallel_map", "plan_pool", "resolve_workers", "traced_map"]
 
 ENV_WORKERS = "REPRO_WORKERS"
+
+#: Below this many items a pool's startup cost cannot amortise.
+MIN_POOL_ITEMS = 2
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,21 +61,152 @@ def resolve_workers(n_workers: Optional[int] = None) -> int:
     return int(n_workers)
 
 
+def plan_pool(
+    requested: int, n_items: int, cpu_count: Optional[int] = None
+) -> Tuple[int, str, str]:
+    """Adaptive fan-out plan: ``(workers, mode, reason)``.
+
+    ``mode`` is ``"pool"`` or ``"serial"``.  The pool engages only
+    when it can plausibly win: more than one worker requested, at
+    least :data:`MIN_POOL_ITEMS` items, and more than one CPU — the
+    worker count is capped at both the item count and the host's
+    cores.  ``cpu_count`` overrides ``os.cpu_count()`` for tests.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if requested <= 1:
+        return 1, "serial", "one worker requested"
+    if n_items < MIN_POOL_ITEMS:
+        return 1, "serial", f"only {n_items} item(s)"
+    if cpus <= 1:
+        return 1, "serial", f"host has {cpus} cpu(s); a pool cannot win"
+    workers = min(requested, n_items, cpus)
+    if workers <= 1:
+        return 1, "serial", "effective worker count is 1"
+    return (
+        workers,
+        "pool",
+        f"min(requested {requested}, items {n_items}, cpus {cpus})",
+    )
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     n_workers: Optional[int] = None,
+    observer=None,
+    on_result: Optional[Callable[[int, R], None]] = None,
+    assume_cpus: Optional[int] = None,
 ) -> List[R]:
     """``[fn(item) for item in items]``, fanned out over processes.
 
     Results come back in item order regardless of worker count, so a
     parallel run is a drop-in replacement for the serial loop.  ``fn``
     and every item must be picklable (module-level function, picklable
-    arguments).  With one worker — or one item — no pool is created.
+    arguments).
+
+    ``on_result(index, result)`` fires in the parent process as each
+    item *completes* (completion order in pool mode, input order in
+    serial mode) — this is what live progress surfaces hang off.
+    ``observer`` records the fan-out decision as a ``pool_decision``
+    event; ``assume_cpus`` overrides the detected core count (tests).
     """
     work = list(items)
-    workers = min(resolve_workers(n_workers), len(work))
-    if workers <= 1:
-        return [fn(item) for item in work]
+    requested = resolve_workers(n_workers)
+    workers, mode, reason = plan_pool(
+        requested, len(work), cpu_count=assume_cpus
+    )
+    if observer is not None:
+        observer.pool_decision(
+            requested=requested,
+            cpu_count=(
+                assume_cpus if assume_cpus is not None
+                else (os.cpu_count() or 1)
+            ),
+            items=len(work),
+            workers=workers,
+            mode=mode,
+            reason=reason,
+        )
+    if mode == "serial":
+        results: List[R] = []
+        for index, item in enumerate(work):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    slots: List[Optional[R]] = [None] * len(work)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, work))
+        futures = {
+            pool.submit(fn, item): index for index, item in enumerate(work)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            result = future.result()
+            slots[index] = result
+            if on_result is not None:
+                on_result(index, result)
+    return slots  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Span propagation through the pool
+# ----------------------------------------------------------------------
+def _run_traced_item(payload):
+    """Worker entry: rebuild the tracer, wrap the item in a span."""
+    fn, name, key, wire, item = payload
+    tracer, records = collecting_tracer(wire)
+    with activate(tracer):
+        with tracer.span(name, key=key):
+            result = fn(item)
+    return result, records
+
+
+def traced_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    name: str = "item",
+    keys: Optional[Sequence[object]] = None,
+    n_workers: Optional[int] = None,
+    tracer=None,
+    observer=None,
+    on_result: Optional[Callable[[int, R], None]] = None,
+    assume_cpus: Optional[int] = None,
+) -> List[R]:
+    """:func:`parallel_map` that carries span context into workers.
+
+    Each item runs inside a ``name`` span keyed by ``keys[i]`` (item
+    index by default) and parented at the caller's active span; the
+    worker-side records come back with the results and are re-emitted
+    here, so the trace reassembles into one tree.  With no active
+    tracer this is exactly :func:`parallel_map`.
+    """
+    work = list(items)
+    tracer = tracer if tracer is not None else current_tracer()
+    if not tracer.enabled:
+        return parallel_map(
+            fn, work, n_workers=n_workers, observer=observer,
+            on_result=on_result, assume_cpus=assume_cpus,
+        )
+    wire = tracer.context().to_wire()
+    key_list = list(keys) if keys is not None else list(range(len(work)))
+    if len(key_list) != len(work):
+        raise ValueError(
+            f"{len(key_list)} keys for {len(work)} items"
+        )
+    payloads = [
+        (fn, name, key, wire, item) for key, item in zip(key_list, work)
+    ]
+
+    def _relay(index: int, out) -> None:
+        result, records = out
+        for record in records:
+            tracer.emit(record)
+        if on_result is not None:
+            on_result(index, result)
+
+    outs = parallel_map(
+        _run_traced_item, payloads, n_workers=n_workers,
+        observer=observer, on_result=_relay, assume_cpus=assume_cpus,
+    )
+    return [result for result, _records in outs]

@@ -664,8 +664,17 @@ def simulate(
     stop_after_periods: Optional[int] = None,
     monitors: Sequence = (),
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`SimulationEngine`."""
-    return SimulationEngine(
+    """One-call convenience wrapper around :class:`SimulationEngine`.
+
+    The run is wrapped in an ``engine_run`` span when a tracer is
+    active (the observer's own, or the ambient one inside fleet/suite
+    workers).  Tracing never touches the hot loop: the span opens and
+    closes around the whole run, so the engine's numerics — and the
+    NULL-path bit-identity guarantee — are unchanged.
+    """
+    from ..obs.trace import current_tracer
+
+    engine = SimulationEngine(
         node,
         graph,
         trace,
@@ -676,4 +685,22 @@ def simulate(
         fault_injector=fault_injector,
         checkpoint=checkpoint,
         monitors=monitors,
-    ).run(resume_from=resume_from, stop_after_periods=stop_after_periods)
+    )
+    tracer = getattr(observer, "tracer", None) or current_tracer()
+    if not tracer.enabled:
+        return engine.run(
+            resume_from=resume_from, stop_after_periods=stop_after_periods
+        )
+    with tracer.span(
+        "engine_run",
+        attrs={
+            "scheduler": scheduler.name,
+            "benchmark": graph.name,
+            "total_slots": trace.timeline.total_slots,
+        },
+    ) as span:
+        result = engine.run(
+            resume_from=resume_from, stop_after_periods=stop_after_periods
+        )
+        span.annotate(dmr=result.dmr)
+        return result

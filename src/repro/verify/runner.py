@@ -143,107 +143,131 @@ def run_verification(
     log = log or _null_log
     report = VerificationReport(level=level, seed=seed)
 
-    graph, tl, trace = _tiny_spec()
-    reference = load_reference_fingerprints(fingerprint_path)
+    from ..obs.trace import current_tracer
 
-    # ---- observed runs through the full invariant suite ----
-    if level == "smoke":
-        log("invariants: micro run")
-        report.extend(
-            verified_simulation(
-                "smoke/tiny/greedy-edf",
-                {
-                    "node": quick_node(graph),
-                    "graph": graph,
-                    "trace": trace,
-                    "scheduler": GreedyEDFScheduler(),
-                    "fault_injector": None,
-                },
-            )
-        )
-    else:
-        specs = reference_run_specs()
-        for key, build in specs:
-            log(f"invariants: {key}")
-            report.extend(verified_simulation(key, build(), reference))
-        if reference is None:
-            report.add(
-                CheckOutcome(
-                    name="oracle/reference-fingerprint",
-                    notes="no committed reference found; comparison skipped",
+    tracer = current_tracer()
+    with tracer.span(
+        "verify", key=level, attrs={"level": level, "seed": seed}
+    ):
+        graph, tl, trace = _tiny_spec()
+        reference = load_reference_fingerprints(fingerprint_path)
+
+        # ---- observed runs through the full invariant suite ----
+        with tracer.span("verify_invariants"):
+            if level == "smoke":
+                log("invariants: micro run")
+                report.extend(
+                    verified_simulation(
+                        "smoke/tiny/greedy-edf",
+                        {
+                            "node": quick_node(graph),
+                            "graph": graph,
+                            "trace": trace,
+                            "scheduler": GreedyEDFScheduler(),
+                            "fault_injector": None,
+                        },
+                    )
                 )
-            )
+            else:
+                specs = reference_run_specs()
+                for key, build in specs:
+                    log(f"invariants: {key}")
+                    report.extend(
+                        verified_simulation(key, build(), reference)
+                    )
+                if reference is None:
+                    report.add(
+                        CheckOutcome(
+                            name="oracle/reference-fingerprint",
+                            notes=(
+                                "no committed reference found; "
+                                "comparison skipped"
+                            ),
+                        )
+                    )
 
-    # ---- differential oracles ----
-    log("oracle: scalar vs vectorized")
-    report.add(
-        oracle_scalar_vs_vectorized(
-            graph, trace, GreedyEDFScheduler, label="tiny/greedy-edf"
-        )
-    )
-    if level != "smoke":
-        report.add(
-            oracle_scalar_vs_vectorized(
-                graph, trace, IntraTaskScheduler, label="tiny/intra-task",
-                injector_factory=lambda: FaultInjector(
-                    runtime_scenario("chaos", tl, seed=0), tl
-                ),
-            )
-        )
-
-    log("oracle: LUT query vs exhaustive scan")
-    table = _small_lut()
-    cases = {"smoke": 20, "quick": 60, "deep": 200}[level]
-    report.add(
-        oracle_lut_vs_scan(table, cases=cases, seed=seed, label="small-lut")
-    )
-
-    log("oracle: DP plan vs brute force")
-    if level == "smoke":
-        curated = ["marginal"]
-    else:
-        curated = sorted(BRUTEFORCE_INSTANCES)
-    for name in curated:
-        report.add(
-            oracle_plan_vs_bruteforce(
-                BRUTEFORCE_INSTANCES[name], label=name
-            )
-        )
-
-    log("oracle: checkpoint resume vs straight through")
-    report.add(
-        oracle_checkpoint_resume(
-            graph, trace, GreedyEDFScheduler, label="tiny/greedy-edf"
-        )
-    )
-
-    # ---- metamorphic relations ----
-    log("metamorphic relations")
-    report.add(relation_task_permutation())
-    if level != "smoke":
-        report.add(relation_irradiance_monotonicity())
-        report.add(relation_capacity_monotonicity())
-
-    # ---- deep-only randomized sweeps ----
-    if level == "deep":
-        rng = np.random.default_rng(seed)
-        for i in range(4):
-            sweep_tl = tiny_timeline(periods_per_day=int(rng.integers(2, 5)))
-            sweep_trace = random_trace(sweep_tl, int(rng.integers(0, 10_000)))
-            log(f"deep sweep {i}: scalar vs vectorized, random weather")
+        # ---- differential oracles ----
+        with tracer.span("verify_oracles"):
+            log("oracle: scalar vs vectorized")
             report.add(
                 oracle_scalar_vs_vectorized(
-                    graph, sweep_trace, GreedyEDFScheduler,
-                    label=f"sweep-{i}/random-weather",
+                    graph, trace, GreedyEDFScheduler, label="tiny/greedy-edf"
                 )
             )
-        for i in range(3):
-            rows = rng.uniform(0.0, 0.12, size=(2, 4)).round(3).tolist()
-            log(f"deep sweep {i}: DP vs brute force, random instance")
+            if level != "smoke":
+                report.add(
+                    oracle_scalar_vs_vectorized(
+                        graph, trace, IntraTaskScheduler,
+                        label="tiny/intra-task",
+                        injector_factory=lambda: FaultInjector(
+                            runtime_scenario("chaos", tl, seed=0), tl
+                        ),
+                    )
+                )
+
+            log("oracle: LUT query vs exhaustive scan")
+            table = _small_lut()
+            cases = {"smoke": 20, "quick": 60, "deep": 200}[level]
             report.add(
-                oracle_plan_vs_bruteforce(
-                    rows, label=f"sweep-{i}/random",
-                    strict_optimality=False,
+                oracle_lut_vs_scan(
+                    table, cases=cases, seed=seed, label="small-lut"
                 )
             )
+
+            log("oracle: DP plan vs brute force")
+            if level == "smoke":
+                curated = ["marginal"]
+            else:
+                curated = sorted(BRUTEFORCE_INSTANCES)
+            for name in curated:
+                report.add(
+                    oracle_plan_vs_bruteforce(
+                        BRUTEFORCE_INSTANCES[name], label=name
+                    )
+                )
+
+            log("oracle: checkpoint resume vs straight through")
+            report.add(
+                oracle_checkpoint_resume(
+                    graph, trace, GreedyEDFScheduler, label="tiny/greedy-edf"
+                )
+            )
+
+        # ---- metamorphic relations ----
+        with tracer.span("verify_metamorphic"):
+            log("metamorphic relations")
+            report.add(relation_task_permutation())
+            if level != "smoke":
+                report.add(relation_irradiance_monotonicity())
+                report.add(relation_capacity_monotonicity())
+
+        # ---- deep-only randomized sweeps ----
+        if level == "deep":
+            with tracer.span("verify_deep_sweeps"):
+                rng = np.random.default_rng(seed)
+                for i in range(4):
+                    sweep_tl = tiny_timeline(
+                        periods_per_day=int(rng.integers(2, 5))
+                    )
+                    sweep_trace = random_trace(
+                        sweep_tl, int(rng.integers(0, 10_000))
+                    )
+                    log(f"deep sweep {i}: scalar vs vectorized, random weather")
+                    report.add(
+                        oracle_scalar_vs_vectorized(
+                            graph, sweep_trace, GreedyEDFScheduler,
+                            label=f"sweep-{i}/random-weather",
+                        )
+                    )
+                for i in range(3):
+                    rows = (
+                        rng.uniform(0.0, 0.12, size=(2, 4)).round(3).tolist()
+                    )
+                    log(f"deep sweep {i}: DP vs brute force, random instance")
+                    report.add(
+                        oracle_plan_vs_bruteforce(
+                            rows, label=f"sweep-{i}/random",
+                            strict_optimality=False,
+                        )
+                    )
     return report

@@ -345,6 +345,83 @@ class TestFleetRunner:
         assert again.fingerprint() == result.fingerprint()
 
 
+class TestFleetAggregateIntegration:
+    """The runner builds the mergeable aggregate shard by shard."""
+
+    def test_runner_attaches_shard_built_aggregate(self):
+        result = FleetRunner(SMALL, shard_size=3, cache=False).run()
+        agg = result.aggregate
+        assert agg.n_nodes == len(result)
+        # Three shards -> three disjoint sub-fingerprints.
+        assert [s["n"] for s in agg.sub_fingerprints] == [3, 3, 2]
+        assert agg.sub_fingerprints[0]["lo"] == 0
+        assert agg.sub_fingerprints[-1]["hi"] == SMALL.n_nodes - 1
+
+    def test_aggregate_fingerprint_shard_split_invariant(self):
+        wide = FleetRunner(SMALL, shard_size=8, cache=False).run()
+        narrow = FleetRunner(SMALL, shard_size=2, cache=False).run()
+        assert wide.fingerprint() == narrow.fingerprint()
+        assert (
+            wide.aggregate.fingerprint() == narrow.aggregate.fingerprint()
+        )
+        assert wide.dmr_percentiles() == narrow.dmr_percentiles()
+        assert (
+            wide.utilization_histogram() == narrow.utilization_histogram()
+        )
+
+    def test_sketch_percentiles_close_to_exact(self):
+        from repro.fleet.result import DMR_SKETCH_BINS
+
+        result = FleetRunner(SMALL, cache=False).run()
+        # The sketch bound is vs the nearest-rank sample (with 8 nodes
+        # an interpolated percentile falls between samples).
+        exact = np.percentile(
+            result.dmr_values(), [5, 50, 95], method="lower"
+        )
+        sketch = result.dmr_percentiles((5, 50, 95))
+        for est, ref in zip(sketch.values(), exact):
+            assert abs(est - ref) <= 1.0 / DMR_SKETCH_BINS + 1e-12
+
+    def test_summary_carries_aggregate_fingerprint(self):
+        result = FleetRunner(SMALL, cache=False).run()
+        summary = result.summary()
+        assert (
+            summary["aggregate_fingerprint"]
+            == result.aggregate.fingerprint()
+        )
+        assert summary["aggregate_fingerprint"] != summary["fingerprint"]
+
+    def test_shard_events_carry_live_p50_estimate(self):
+        from repro.obs.sinks import RingBufferSink
+
+        sink = RingBufferSink()
+        result = FleetRunner(
+            SMALL, shard_size=4, cache=False,
+            observer=Observer(sinks=[sink]),
+        ).run()
+        shards = sink.of_kind("fleet_shard")
+        assert len(shards) == 2
+        for event in shards:
+            assert 0.0 <= event["p50_dmr_est"] <= 1.0
+        # After the last shard the running median has seen every node.
+        final = shards[-1]["p50_dmr_est"]
+        exact = float(np.percentile(result.dmr_values(), 50))
+        assert abs(final - exact) < 0.25
+
+    def test_result_json_roundtrip_keeps_aggregate_numbers(self, tmp_path):
+        result = FleetRunner(SMALL, cache=False).run()
+        path = result.write_json(tmp_path / "fleet.json")
+        loaded = FleetResult.load_json(path)
+        assert loaded.fingerprint() == result.fingerprint()
+        # The reloaded result rebuilds its aggregate from the node
+        # summaries; the numbers must agree with the shard-built one.
+        assert loaded.dmr_percentiles() == result.dmr_percentiles()
+        assert (
+            loaded.aggregate.fingerprint()
+            == result.aggregate.fingerprint()
+        )
+
+
 @pytest.mark.slow
 class TestFleetSoak:
     def test_acceptance_200_nodes_worker_invariant(self):

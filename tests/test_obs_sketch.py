@@ -1,0 +1,302 @@
+"""Property tests of the mergeable streaming aggregates.
+
+The contract under test (see :mod:`repro.obs.sketch`): ``merge()`` is
+associative and commutative — any grouping of the same shards yields
+the same aggregate — quantile estimates are within one bin width of
+exact ``np.percentile``, and histogram views are invariant under how
+the value stream was split into shards.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fleet import FleetAggregate
+from repro.fleet.result import NodeSummary
+from repro.obs.sketch import CounterBag, FixedHistogram, P2Quantile
+
+UNIT_FLOATS = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def hist_of(values, bins=16):
+    return FixedHistogram.linear(0.0, 1.0, bins).add_many(values)
+
+
+def assert_hist_equal(a: FixedHistogram, b: FixedHistogram):
+    assert np.array_equal(a.counts, b.counts)
+    assert a.count == b.count
+    assert a.min == b.min and a.max == b.max
+    assert a.total == pytest.approx(b.total, abs=1e-9)
+
+
+class TestCounterBag:
+    def test_inc_and_lookup(self):
+        bag = CounterBag()
+        bag.inc("a")
+        bag.inc("a", 2)
+        bag.inc("b", 0.5)
+        assert bag["a"] == 3
+        assert bag["b"] == 0.5
+        assert bag["missing"] == 0
+        assert bag.items() == [("a", 3), ("b", 0.5)]
+
+    def test_roundtrip(self):
+        bag = CounterBag({"x": 4, "y": 1.5})
+        assert CounterBag.from_dict(bag.to_dict()).items() == bag.items()
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(-5, 5)),
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(-5, 5)),
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(-5, 5)),
+            max_size=20,
+        ),
+    )
+    def test_merge_associative_commutative(self, xs, ys, zs):
+        bags = []
+        for entries in (xs, ys, zs):
+            bag = CounterBag()
+            for name, value in entries:
+                bag.inc(name, value)
+            bags.append(bag)
+        a, b, c = bags
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a).merge(b)
+        assert left.items() == right.items() == swapped.items()
+
+
+class TestFixedHistogram:
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            FixedHistogram([1.0])
+        with pytest.raises(ValueError):
+            FixedHistogram([0.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            FixedHistogram.linear(0.0, 1.0, 0)
+
+    def test_binning_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0.0, 1.0, size=500)
+        values[:3] = (0.0, 0.5, 1.0)  # boundary values incl. top edge
+        hist = hist_of(values, bins=10)
+        expected, _ = np.histogram(values, bins=10, range=(0.0, 1.0))
+        assert np.array_equal(hist.counts, expected)
+        assert hist.count == 500
+        assert hist.mean == pytest.approx(values.mean())
+
+    def test_out_of_range_clamped_but_min_max_exact(self):
+        hist = hist_of([-0.5, 1.5, 0.5], bins=4)
+        assert hist.counts[0] == 1 and hist.counts[-1] == 1
+        assert hist.min == -0.5 and hist.max == 1.5
+
+    def test_merge_requires_same_edges(self):
+        with pytest.raises(ValueError):
+            hist_of([0.1], bins=4).merge(hist_of([0.1], bins=8))
+        with pytest.raises(TypeError):
+            hist_of([0.1]).merge(CounterBag())
+
+    def test_downsample_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        values = rng.uniform(0.0, 1.0, size=300)
+        hist = hist_of(values, bins=100)
+        for bins in (2, 4, 5, 10, 20, 25, 50, 100):
+            counts, edges = hist.downsample(bins)
+            expected, exp_edges = np.histogram(
+                values, bins=bins, range=(0.0, 1.0)
+            )
+            assert counts == expected.tolist()
+            assert edges == pytest.approx(exp_edges.tolist())
+        with pytest.raises(ValueError):
+            hist.downsample(3)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            hist_of([]).quantile(0.5)
+        with pytest.raises(ValueError):
+            hist_of([0.5]).quantile(1.5)
+
+    def test_roundtrip(self):
+        hist = hist_of([0.2, 0.4, 0.9])
+        back = FixedHistogram.from_dict(hist.to_dict())
+        assert_hist_equal(hist, back)
+        empty = FixedHistogram.from_dict(hist_of([]).to_dict())
+        assert empty.count == 0 and empty.min == math.inf
+
+    @given(
+        st.lists(UNIT_FLOATS, max_size=40),
+        st.lists(UNIT_FLOATS, max_size=40),
+        st.lists(UNIT_FLOATS, max_size=40),
+    )
+    def test_merge_associative_commutative(self, xs, ys, zs):
+        a, b, c = hist_of(xs), hist_of(ys), hist_of(zs)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(b).merge(a)
+        assert_hist_equal(left, right)
+        assert_hist_equal(left, swapped)
+
+    @given(
+        values=st.lists(UNIT_FLOATS, min_size=1, max_size=120),
+        q=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_quantile_error_bounded_by_bin_width(self, values, q):
+        hist = hist_of(values, bins=16)
+        estimate = hist.quantile(q)
+        # The documented bound is vs the nearest-rank sample (numpy's
+        # method="lower"), not the interpolated percentile — with two
+        # samples {0, 1} the interpolated median falls in an empty bin
+        # no histogram sketch could point at.
+        exact = float(np.percentile(values, 100.0 * q, method="lower"))
+        assert abs(estimate - exact) <= hist.bin_width + 1e-12
+        assert hist.min <= estimate <= hist.max
+
+    @given(values=st.lists(UNIT_FLOATS, min_size=1, max_size=80))
+    def test_quantile_monotone_in_q(self, values):
+        hist = hist_of(values, bins=8)
+        qs = np.linspace(0.0, 1.0, 21)
+        estimates = [hist.quantile(q) for q in qs]
+        assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        values=st.lists(UNIT_FLOATS, min_size=2, max_size=100),
+        split=st.data(),
+    )
+    def test_shard_split_invariance(self, values, split):
+        """Any sharding of the same stream folds to the same histogram."""
+        cut = split.draw(st.integers(0, len(values)))
+        whole = hist_of(values, bins=20)
+        parts = hist_of(values[:cut], bins=20).merge(
+            hist_of(values[cut:], bins=20)
+        )
+        assert_hist_equal(whole, parts)
+        for bins in (4, 10, 20):
+            assert whole.downsample(bins) == parts.downsample(bins)
+
+
+class TestP2Quantile:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty(self):
+        sketch = P2Quantile()
+        with pytest.raises(ValueError):
+            sketch.value()
+        assert sketch.estimate(-1.0) == -1.0
+
+    def test_exact_below_five_samples(self):
+        sketch = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            sketch.add(v)
+        assert sketch.value() == pytest.approx(2.0)
+
+    def test_median_accuracy_on_uniform_stream(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 1.0, size=2000)
+        sketch = P2Quantile(0.5)
+        for v in values:
+            sketch.add(v)
+        exact = float(np.percentile(values, 50))
+        assert abs(sketch.value() - exact) < 0.03
+        assert values.min() <= sketch.value() <= values.max()
+
+    def test_tail_quantile(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0.0, 1.0, size=3000)
+        sketch = P2Quantile(0.95)
+        for v in values:
+            sketch.add(v)
+        exact = float(np.percentile(values, 95))
+        assert abs(sketch.value() - exact) < 0.15
+
+
+# ----------------------------------------------------------------------
+# FleetAggregate rides the same contract
+# ----------------------------------------------------------------------
+def make_node(node_id: int, dmr: float, policy: str = "asap") -> NodeSummary:
+    return NodeSummary(
+        node_id=node_id,
+        graph_kind="wam",
+        policy=policy,
+        num_tasks=4,
+        panel_scale=1.0,
+        bank_farads=(2.0, 5.0),
+        dmr=float(dmr),
+        energy_utilization=min(1.0, float(dmr) / 2 + 0.25),
+        migration_efficiency=0.9,
+        brownout_slots=int(dmr * 10),
+        solar_energy=100.0,
+        load_energy=60.0,
+        fingerprint=f"fp-{node_id}",
+    )
+
+
+class TestFleetAggregateMerge:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        dmrs=st.lists(UNIT_FLOATS, min_size=3, max_size=30),
+        cuts=st.data(),
+    )
+    def test_any_grouping_same_aggregate(self, dmrs, cuts):
+        nodes = [
+            make_node(i, d, policy=("asap" if i % 2 else "random"))
+            for i, d in enumerate(dmrs)
+        ]
+        i = cuts.draw(st.integers(1, len(nodes) - 1))
+        j = cuts.draw(st.integers(i, len(nodes)))
+        a = FleetAggregate.from_nodes(nodes[:i])
+        b = FleetAggregate.from_nodes(nodes[i:j])
+        c = FleetAggregate.from_nodes(nodes[j:])
+        whole = FleetAggregate.from_nodes(nodes)
+        shards = [s for s in (a, b, c) if s.n_nodes]
+        left = shards[0]
+        for s in shards[1:]:
+            left = left.merge(s)
+        right = shards[-1]
+        for s in reversed(shards[:-1]):
+            right = right.merge(s)
+        for folded in (left, right):
+            assert folded.fingerprint() == whole.fingerprint()
+            assert folded.n_nodes == whole.n_nodes
+            assert np.array_equal(folded.dmr.counts, whole.dmr.counts)
+            assert folded.total_brownout_slots == whole.total_brownout_slots
+            # Sums are exact up to float summation order only.
+            theirs, ours = folded.by_policy(), whole.by_policy()
+            assert sorted(theirs) == sorted(ours)
+            for policy, stats in ours.items():
+                assert theirs[policy] == pytest.approx(stats, abs=1e-9)
+            assert folded.dmr_percentiles() == whole.dmr_percentiles()
+
+    def test_duplicate_ids_rejected(self):
+        nodes = [make_node(0, 0.5), make_node(0, 0.6)]
+        with pytest.raises(ValueError):
+            FleetAggregate.from_nodes(nodes)
+
+    def test_overlapping_ranges_rejected(self):
+        a = FleetAggregate.from_nodes([make_node(i, 0.5) for i in range(4)])
+        b = FleetAggregate.from_nodes([make_node(3, 0.5), make_node(4, 0.5)])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_roundtrip(self):
+        agg = FleetAggregate.from_nodes(
+            [make_node(i, i / 10) for i in range(8)]
+        )
+        back = FleetAggregate.from_dict(agg.to_dict())
+        assert back.fingerprint() == agg.fingerprint()
+        assert back.by_policy() == agg.by_policy()
+        assert back.utilization_histogram() == agg.utilization_histogram()

@@ -19,7 +19,12 @@ from repro.perf.cache import (
     default_cache_dir,
     hash_key,
 )
-from repro.perf.parallel import parallel_map, resolve_workers
+from repro.perf.parallel import (
+    MIN_POOL_ITEMS,
+    parallel_map,
+    plan_pool,
+    resolve_workers,
+)
 from repro.sim import result_fingerprint
 from repro.solar import synthetic_trace
 from repro.tasks import paper_benchmarks
@@ -234,6 +239,84 @@ class TestParallelRunner:
                 assert result_fingerprint(serial[name]) == (
                     result_fingerprint(parallel[name])
                 ), f"seed {seed}, scheduler {name}"
+
+
+class TestAdaptivePoolPlan:
+    """The fan-out planner: a pool engages only when it can win."""
+
+    def test_serial_fallbacks(self):
+        assert plan_pool(1, 100, cpu_count=16) == (
+            1, "serial", "one worker requested",
+        )
+        workers, mode, reason = plan_pool(4, 1, cpu_count=16)
+        assert (workers, mode) == (1, "serial") and "1 item" in reason
+        workers, mode, reason = plan_pool(4, 100, cpu_count=1)
+        assert (workers, mode) == (1, "serial") and "cpu" in reason
+        assert MIN_POOL_ITEMS == 2
+
+    def test_pool_capped_by_items_and_cpus(self):
+        assert plan_pool(8, 3, cpu_count=16)[0] == 3
+        assert plan_pool(8, 100, cpu_count=4)[0] == 4
+        workers, mode, _ = plan_pool(4, 100, cpu_count=16)
+        assert (workers, mode) == (4, "pool")
+
+    def test_default_cpu_count_is_host(self, monkeypatch):
+        import repro.perf.parallel as mod
+
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 1)
+        assert plan_pool(4, 100)[1] == "serial"
+        monkeypatch.setattr(mod.os, "cpu_count", lambda: 8)
+        assert plan_pool(4, 100)[1] == "pool"
+
+    def test_parallel_map_serial_fallback_matches_pool(self):
+        items = list(range(10))
+        expected = [x * x for x in items]
+        assert parallel_map(
+            _square, items, n_workers=4, assume_cpus=1
+        ) == expected
+        assert parallel_map(
+            _square, items, n_workers=4, assume_cpus=8
+        ) == expected
+
+    def test_decision_recorded_as_obs_event(self):
+        from repro.obs.sinks import RingBufferSink
+
+        sink = RingBufferSink()
+        observer = Observer(sinks=[sink])
+        parallel_map(
+            _square, [1, 2, 3], n_workers=4, observer=observer,
+            assume_cpus=1,
+        )
+        parallel_map(
+            _square, [1, 2, 3], n_workers=4, observer=observer,
+            assume_cpus=8,
+        )
+        decisions = [
+            r for r in sink.records if r["kind"] == "pool_decision"
+        ]
+        assert [d["mode"] for d in decisions] == ["serial", "pool"]
+        assert decisions[0]["workers"] == 1
+        assert decisions[1]["workers"] == 3  # capped at the item count
+        assert decisions[1]["requested"] == 4
+        assert observer.metrics.counter("pool_decisions_total").value == 2
+
+    def test_on_result_fires_per_completion(self):
+        landed = []
+        out = parallel_map(
+            _square, [1, 2, 3],
+            on_result=lambda i, r: landed.append((i, r)),
+        )
+        assert out == [1, 4, 9]
+        assert landed == [(0, 1), (1, 4), (2, 9)]  # serial: input order
+
+    def test_on_result_fires_in_pool_mode(self):
+        landed = []
+        out = parallel_map(
+            _square, [1, 2, 3, 4], n_workers=2, assume_cpus=4,
+            on_result=lambda i, r: landed.append((i, r)),
+        )
+        assert out == [1, 4, 9, 16]  # results stay input-ordered
+        assert sorted(landed) == [(0, 1), (1, 4), (2, 9), (3, 16)]
 
 
 # ----------------------------------------------------------------------
