@@ -40,6 +40,14 @@ Commands
     population report plus the deterministic aggregate fingerprint
     (bit-identical for any ``--workers``/``--shard-size``);
     ``fleet report result.json`` re-renders a saved ``--out`` file.
+    Execution is supervised: ``--max-retries``/``--task-timeout``
+    bound failures, ``--on-node-error quarantine`` (default) completes
+    degraded with exit code 7 when nodes had to be quarantined
+    (``fail`` aborts with exit code 4 instead), ``--chaos-*`` flags
+    inject deterministic worker kills/hangs/poison nodes for drills,
+    and ``--exclude-nodes`` reruns the healthy subset of a degraded
+    run.  Ctrl-C terminates the pool, flushes event sinks and stamps
+    the manifest ``interrupted: true`` (exit code 130).
 
 A global ``--log-level`` (default WARNING) configures stdlib logging
 for every command.  ``experiment --workers N`` fans independent
@@ -66,6 +74,7 @@ from .obs import (
     timeline_dict,
 )
 from .reliability import RUNTIME_SCENARIOS, FaultInjector, runtime_scenario
+from .reliability.supervisor import SupervisorError
 from .schedulers import (
     DVFSLoadMatchingScheduler,
     GreedyEDFScheduler,
@@ -389,6 +398,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print a live heartbeat line per completed shard "
         "(stderr), fed by the event stream",
+    )
+    fleet_run.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="supervisor re-dispatches per shard and in-worker "
+        "retries per node beyond the first attempt (default 2)",
+    )
+    fleet_run.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS",
+        help="per-shard wall-clock budget; a shard exceeding it is "
+        "killed and re-dispatched (default: no timeout). Forces "
+        "pool execution.",
+    )
+    fleet_run.add_argument(
+        "--on-node-error", choices=("quarantine", "fail"),
+        default="quarantine",
+        help="quarantine (default): record raising nodes as "
+        "FailedNode and complete degraded (exit 7); fail: abort on "
+        "the first permanent failure (exit 4)",
+    )
+    fleet_run.add_argument(
+        "--exclude-nodes", metavar="ID1,ID2,...",
+        help="node ids to skip — rerun the healthy subset of a "
+        "degraded run to reproduce its fingerprint fault-free",
+    )
+    fleet_run.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="S",
+        help="seed of the chaos fault draws (default 0)",
+    )
+    fleet_run.add_argument(
+        "--chaos-poison", type=int, default=0, metavar="N",
+        help="chaos: N nodes raise on every attempt (must end up "
+        "quarantined)",
+    )
+    fleet_run.add_argument(
+        "--chaos-hangs", type=int, default=0, metavar="N",
+        help="chaos: N nodes sleep --chaos-hang-seconds on their "
+        "first attempt (pair with --task-timeout)",
+    )
+    fleet_run.add_argument(
+        "--chaos-kills", type=int, default=0, metavar="N",
+        help="chaos: N shards hard-kill their worker on the first "
+        "attempt (exercises pool rebuild)",
+    )
+    fleet_run.add_argument(
+        "--chaos-hang-seconds", type=float, default=2.0,
+        metavar="SECONDS",
+        help="sleep of a chaos-hung node's first attempt (default 2)",
     )
     fleet_report = fleet_sub.add_parser(
         "report", help="re-render a saved fleet result"
@@ -765,6 +821,23 @@ def _cmd_fleet(args, out) -> int:
     if args.no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
 
+    chaos = None
+    if args.chaos_poison or args.chaos_hangs or args.chaos_kills:
+        from .reliability.chaos import ChaosSpec
+
+        chaos = ChaosSpec(
+            seed=args.chaos_seed,
+            poison_nodes=args.chaos_poison,
+            hang_nodes=args.chaos_hangs,
+            kill_shards=args.chaos_kills,
+            hang_seconds=args.chaos_hang_seconds,
+        )
+    exclude = None
+    if args.exclude_nodes:
+        exclude = [
+            int(tok) for tok in args.exclude_nodes.split(",") if tok.strip()
+        ]
+
     sinks = []
     if args.trace:
         sinks.append(JsonlSink(args.trace))
@@ -775,12 +848,44 @@ def _cmd_fleet(args, out) -> int:
     observer = Observer(sinks=sinks) if sinks or args.manifest else None
 
     t0 = time.perf_counter()
-    result = FleetRunner(
-        spec,
-        workers=args.workers,
-        shard_size=args.shard_size,
-        observer=observer,
-    ).run()
+    try:
+        result = FleetRunner(
+            spec,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            observer=observer,
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            on_node_error=args.on_node_error,
+            chaos=chaos,
+            exclude_nodes=exclude,
+        ).run()
+    except KeyboardInterrupt:
+        # The supervisor has already torn the pool down on the way
+        # out; flush what the run produced so far and say so.
+        wall = time.perf_counter() - t0
+        if observer is not None:
+            observer.close()
+        if args.manifest:
+            manifest = build_manifest(
+                f"fleet-{args.nodes}",
+                seed=args.seed,
+                scheduler="fleet",
+                benchmark="fleet",
+                timeline=timeline_dict(spec.timeline()),
+                config={**spec.describe(), "interrupted": True},
+                result_summary={"interrupted": True},
+                wall_time_s=wall,
+            )
+            path = manifest.write(args.manifest)
+            print(f"manifest:    {path} (interrupted)", file=sys.stderr)
+        print(
+            f"interrupted after {wall:.1f}s: pool terminated, sinks "
+            "flushed; completed shards are checkpointed and will be "
+            "reused on rerun",
+            file=sys.stderr,
+        )
+        return 130
     wall = time.perf_counter() - t0
 
     print(result.render(), file=out)
@@ -792,6 +897,17 @@ def _cmd_fleet(args, out) -> int:
         file=out,
     )
     print(f"fingerprint: {result.fingerprint()}", file=out)
+    if result.degraded:
+        ids = ",".join(str(f.node_id) for f in result.failed_nodes)
+        print(
+            f"quarantined: {len(result.failed_nodes)} node(s): {ids}",
+            file=out,
+        )
+        print(
+            f"             rerun the healthy subset with "
+            f"--exclude-nodes {ids}",
+            file=out,
+        )
     if args.out:
         path = result.write_json(args.out)
         print(f"result:      {path}", file=out)
@@ -813,7 +929,9 @@ def _cmd_fleet(args, out) -> int:
         print(f"manifest:    {path}", file=out)
     if observer is not None:
         observer.close()
-    return 0
+    # 7 = "completed degraded": every healthy node's numbers are
+    # valid (and deterministic), but quarantined nodes are missing.
+    return 7 if result.degraded else 0
 
 
 def _cmd_export(args, out) -> int:
@@ -862,13 +980,21 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     # One-line errors with distinct exit codes: 2 = bad input/data,
     # 3 = checkpoint mismatch/corruption, 4 = simulation failure,
     # 5 = perf regression (returned directly by _cmd_bench),
-    # 6 = verification failure (returned directly by _cmd_verify).
+    # 6 = verification failure (returned directly by _cmd_verify),
+    # 7 = completed degraded (returned directly by _cmd_fleet),
+    # 130 = interrupted (returned directly by _cmd_fleet).
     except (MIDCFormatError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 3
+    except SupervisorError as exc:
+        # Permanent task failure under --on-node-error fail (or a
+        # fully-failed fleet): a simulation-layer abort, like
+        # InvalidDecisionError below.
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return 4
     except InvalidDecisionError as exc:
         print(f"simulation error: {exc}", file=sys.stderr)
         return 4

@@ -26,7 +26,8 @@ from ..core import (
 from ..obs import Observer, build_manifest
 from ..obs.trace import current_tracer
 from ..perf.cache import cache_enabled, default_cache
-from ..perf.parallel import resolve_workers, traced_map
+from ..perf.parallel import resolve_workers
+from ..reliability.supervisor import SupervisorPolicy, supervised_traced_map
 from ..schedulers import InterTaskScheduler, IntraTaskScheduler, Scheduler
 from ..sim.engine import simulate
 from ..sim.recorder import SimulationResult
@@ -241,26 +242,29 @@ def evaluation_suite(
     across the runs) traces every simulation.
 
     ``n_workers`` (or ``$REPRO_WORKERS``) fans the schedulers out over
-    a process pool; every cell is an independent simulation with its
-    own node, so parallel results are identical to serial ones.
-    Observed runs stay serial — sinks hold file handles that cannot
-    cross processes.
+    a *supervised* process pool (transient worker failures are retried
+    with deterministic backoff, dead workers rebuild the pool); every
+    cell is an independent simulation with its own node, so parallel
+    results are identical to serial ones.  A cell that fails on every
+    attempt still aborts the suite — a missing scheduler column would
+    silently skew the paper's comparison tables.  Observed runs stay
+    serial — sinks hold file handles that cannot cross processes.
     """
     policy = policy or train_policy(graph)
     workers = resolve_workers(n_workers)
     tracer = current_tracer()
     if observer is None and workers > 1 and len(include) > 1:
         cells = [(graph, trace, policy, name) for name in include]
-        return dict(
-            traced_map(
-                _suite_cell,
-                cells,
-                name="suite_cell",
-                keys=list(include),
-                n_workers=workers,
-                tracer=tracer,
-            )
+        sup = supervised_traced_map(
+            _suite_cell,
+            cells,
+            name="suite_cell",
+            keys=list(include),
+            policy=SupervisorPolicy.from_env(on_error="fail"),
+            n_workers=workers,
+            tracer=tracer,
         )
+        return dict(sup.results)
     results: Dict[str, SimulationResult] = {}
     for name in include:
         with tracer.span("suite_cell", key=name):

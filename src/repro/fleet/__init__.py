@@ -20,23 +20,32 @@ CLI: ``repro fleet run --nodes 200 --seed 0 --workers 4``.
 
 from .result import (
     FLEET_RESULT_SCHEMA,
+    FailedNode,
     FleetAggregate,
     FleetResult,
     NodeSummary,
 )
-from .runner import DEFAULT_SHARD_SIZE, FleetRunner, run_fleet, simulate_node
+from .runner import (
+    DEFAULT_SHARD_SIZE,
+    FleetRunner,
+    node_spec_digest,
+    run_fleet,
+    simulate_node,
+)
 from .spec import FLEET_POLICIES, FleetSpec, NodeSpec, node_trace
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "FLEET_POLICIES",
     "FLEET_RESULT_SCHEMA",
+    "FailedNode",
     "FleetAggregate",
     "FleetResult",
     "FleetRunner",
     "FleetSpec",
     "NodeSpec",
     "NodeSummary",
+    "node_spec_digest",
     "node_trace",
     "run_fleet",
     "simulate_node",

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..obs.sketch import CounterBag, FixedHistogram
 
-__all__ = ["NodeSummary", "FleetResult", "FleetAggregate"]
+__all__ = ["NodeSummary", "FailedNode", "FleetResult", "FleetAggregate"]
 
 #: Bump when the summary layout changes; saved results are rejected.
 FLEET_RESULT_SCHEMA = 1
@@ -76,6 +76,33 @@ class NodeSummary:
     def from_dict(cls, rec: Dict[str, object]) -> "NodeSummary":
         rec = dict(rec)
         rec["bank_farads"] = tuple(rec["bank_farads"])
+        return cls(**rec)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailedNode:
+    """A node quarantined by the supervised fleet runner.
+
+    Structured postmortem of one node whose simulation raised on every
+    allowed attempt: enough to reproduce it in isolation
+    (``spec_digest`` pins the exact :class:`~repro.fleet.spec.NodeSpec`)
+    without holding the exception object.  Picklable and JSON-able, so
+    failed nodes survive shard checkpoints and saved fleet results.
+    """
+
+    node_id: int
+    policy: str
+    graph_kind: str
+    error_type: str
+    message: str
+    spec_digest: str
+    retries: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, rec: Dict[str, object]) -> "FailedNode":
         return cls(**rec)
 
 
@@ -142,10 +169,17 @@ class FleetAggregate:
     # ------------------------------------------------------------------
     @classmethod
     def from_nodes(
-        cls, nodes: Iterable["NodeSummary"]
+        cls,
+        nodes: Iterable["NodeSummary"],
+        failed: Iterable["FailedNode"] = (),
     ) -> "FleetAggregate":
-        """Absorb one shard's summaries into a fresh aggregate."""
+        """Absorb one shard's summaries (and casualties) into a fresh
+        aggregate.  Failed nodes only bump the ``nodes_failed``
+        counter: they contribute nothing to the healthy-subset
+        sketches or sub-fingerprints."""
         agg = cls()
+        for _ in failed:
+            agg.counters.inc("nodes_failed")
         fold = 0
         ids: List[int] = []
         for node in sorted(nodes, key=lambda n: n.node_id):
@@ -253,6 +287,15 @@ class FleetAggregate:
         return self.util.downsample(bins)
 
     @property
+    def nodes_failed(self) -> int:
+        return int(self.counters["nodes_failed"])
+
+    @property
+    def degraded(self) -> bool:
+        """True when any ingested shard quarantined a node."""
+        return self.nodes_failed > 0
+
+    @property
     def total_brownout_slots(self) -> int:
         return int(self.counters["brownout_slots"])
 
@@ -306,14 +349,19 @@ class FleetResult:
         nodes: Sequence[NodeSummary],
         config: Optional[Dict[str, object]] = None,
         aggregate: Optional[FleetAggregate] = None,
+        failed_nodes: Sequence[FailedNode] = (),
     ) -> None:
         nodes = sorted(nodes, key=lambda n: n.node_id)
-        ids = [n.node_id for n in nodes]
+        failed = sorted(failed_nodes, key=lambda f: f.node_id)
+        ids = [n.node_id for n in nodes] + [f.node_id for f in failed]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate node ids in fleet result")
         if not nodes:
-            raise ValueError("fleet result needs at least one node")
+            raise ValueError(
+                "fleet result needs at least one healthy node"
+            )
         self.nodes: List[NodeSummary] = list(nodes)
+        self.failed_nodes: List[FailedNode] = list(failed)
         self.config: Dict[str, object] = dict(config or {})
         if aggregate is not None and aggregate.n_nodes != len(nodes):
             raise ValueError(
@@ -324,6 +372,12 @@ class FleetResult:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any node was quarantined: the population numbers
+        and :meth:`fingerprint` then describe the healthy subset."""
+        return bool(self.failed_nodes)
 
     @property
     def aggregate(self) -> FleetAggregate:
@@ -470,6 +524,8 @@ class FleetResult:
         """Headline aggregates as a plain dict (manifest-friendly)."""
         return {
             "nodes": len(self.nodes),
+            "failed_nodes": len(self.failed_nodes),
+            "degraded": self.degraded,
             "mean_dmr": self.mean_dmr,
             "dmr_percentiles": self.dmr_percentiles(),
             "brownout_slots": self.total_brownout_slots,
@@ -484,6 +540,12 @@ class FleetResult:
     def render(self) -> str:
         """Human-readable fleet report (the ``fleet report`` output)."""
         lines = [f"fleet of {len(self.nodes)} node(s)"]
+        if self.degraded:
+            ids = ",".join(str(f.node_id) for f in self.failed_nodes)
+            lines[0] += (
+                f" — DEGRADED: {len(self.failed_nodes)} quarantined "
+                f"({ids})"
+            )
         pct = self.dmr_percentiles()
         lines.append(
             "DMR:          mean {:.4f}   ".format(self.mean_dmr)
@@ -532,6 +594,7 @@ class FleetResult:
             "summary": self.summary(),
             "aggregate": self.aggregate.to_dict(),
             "nodes": [n.to_dict() for n in self.nodes],
+            "failed_nodes": [f.to_dict() for f in self.failed_nodes],
         }
 
     def write_json(self, path: Union[str, Path]) -> Path:
@@ -563,4 +626,8 @@ class FleetResult:
         return cls(
             [NodeSummary.from_dict(rec) for rec in data["nodes"]],
             config=data.get("config"),
+            failed_nodes=[
+                FailedNode.from_dict(rec)
+                for rec in data.get("failed_nodes") or []
+            ],
         )

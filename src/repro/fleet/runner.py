@@ -24,12 +24,24 @@ Determinism contract: node summaries are pure functions of ``(fleet
 seed, node id)``; shards are combined in node-id order; therefore
 ``FleetResult.fingerprint()`` is bit-identical for any worker count or
 shard size (guarded by tests and the ``repro fleet`` acceptance check).
+
+Execution is *supervised* (:mod:`repro.reliability.supervisor`): a
+raising node is retried in its worker and then quarantined into a
+:class:`~repro.fleet.result.FailedNode` record instead of aborting the
+run (``on_node_error="quarantine"``, the default; ``"fail"`` restores
+abort-on-first-error), hung shards are re-dispatched under
+``task_timeout``, and dead workers rebuild the pool.  A degraded run
+keeps the determinism contract over the *healthy subset*: the
+fingerprint equals a fault-free run of the same fleet restricted to
+the same healthy node ids (``exclude_nodes``), whatever the worker
+count.  The :class:`~repro.reliability.chaos.ChaosSpec` hook injects
+worker kills, hangs and poison nodes deterministically to prove it.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..energy.capacitor import SuperCapacitor
 from ..node.node import SensorNode
@@ -37,7 +49,14 @@ from ..obs.events import NULL_OBSERVER, Observer
 from ..obs.sketch import P2Quantile
 from ..obs.trace import NULL_TRACER, activate, collecting_tracer
 from ..perf.cache import ArtifactCache, cache_enabled, default_cache, hash_key
-from ..perf.parallel import parallel_map, resolve_workers
+from ..perf.parallel import resolve_workers
+from ..reliability.chaos import ChaosPlan, ChaosSpec
+from ..reliability.supervisor import (
+    SupervisorError,
+    SupervisorPolicy,
+    TaskFailure,
+    supervised_map,
+)
 from ..schedulers import (
     DVFSLoadMatchingScheduler,
     GreedyEDFScheduler,
@@ -48,12 +67,13 @@ from ..schedulers import (
 from ..sim.checkpoint import result_fingerprint
 from ..sim.engine import simulate
 from ..verify.strategies import build_graph
-from .result import FleetAggregate, FleetResult, NodeSummary
+from .result import FailedNode, FleetAggregate, FleetResult, NodeSummary
 from .spec import FleetSpec, NodeSpec, node_trace
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "FleetRunner",
+    "node_spec_digest",
     "run_fleet",
     "simulate_node",
 ]
@@ -150,25 +170,53 @@ def simulate_node(fleet: FleetSpec, base_trace, spec: NodeSpec) -> NodeSummary:
     )
 
 
+def node_spec_digest(spec: NodeSpec) -> str:
+    """Content digest of one node's exact configuration.
+
+    Recorded on every :class:`~repro.fleet.result.FailedNode` so a
+    quarantined node can be reproduced in isolation from its fleet.
+    """
+    import dataclasses
+
+    return hash_key(
+        {"artifact": "node-spec", **dataclasses.asdict(spec)}
+    )
+
+
 def _run_shard(item):
-    """Worker entry point: simulate one shard of node ids.
+    """Worker entry point: simulate one shard of node ids, supervised.
 
     Module-level (picklable) on purpose; rebuilds the shared base trace
     once per shard rather than shipping the power array per item.
 
-    The work item is ``(spec, node_ids, shard_index, ctx_wire)``:
-    ``ctx_wire`` is the parent's serialized span context (or ``None``
-    when untraced).  The worker opens a ``shard`` span keyed by the
-    shard index and one ``node`` span per node id — explicit keys, so
-    the span ids are identical whichever process runs the shard — and
-    returns the collected span records with the summaries for the
-    parent to re-emit.
+    The work item is ``(spec, node_ids, shard_index, ctx_wire,
+    chaos_plan, node_retries, on_node_error, attempt)``: ``ctx_wire``
+    is the parent's serialized span context (or ``None`` when
+    untraced) and ``attempt`` is the supervisor's re-dispatch count
+    (chaos keys first-attempt-only faults off it).  The worker opens a
+    ``shard`` span keyed by the shard index and one ``node`` span per
+    node id — explicit keys, so the span ids are identical whichever
+    process (or attempt) runs the shard — and returns the collected
+    span records with the summaries for the parent to re-emit.
+
+    A node whose simulation raises is retried up to ``node_retries``
+    times in place (immediately — the engine is deterministic, the
+    retries absorb environmental interference) and then either
+    quarantined into a :class:`~repro.fleet.result.FailedNode`
+    (``on_node_error="quarantine"``) or re-raised to the supervisor
+    (``"fail"``).  Returns ``(summaries, failed, seconds, records)``.
     """
-    fleet, node_ids, shard_index, ctx_wire = item
+    (
+        fleet, node_ids, shard_index, ctx_wire,
+        chaos, node_retries, on_node_error, attempt,
+    ) = item
+    if chaos is not None:
+        chaos.on_shard_start(shard_index, attempt)
     start = time.perf_counter()
     tracer, records = collecting_tracer(ctx_wire)
     base = fleet.base_trace()
-    summaries = []
+    summaries: List[NodeSummary] = []
+    failed: List[FailedNode] = []
     with activate(tracer):
         with tracer.span(
             "shard",
@@ -182,10 +230,41 @@ def _run_shard(item):
                     key=node_id,
                     attrs={"node_id": node_id, "policy": spec.policy},
                 ) as span:
-                    summary = simulate_node(fleet, base, spec)
-                    span.annotate(dmr=summary.dmr)
-                summaries.append(summary)
-    return summaries, time.perf_counter() - start, records
+                    retries = 0
+                    while True:
+                        try:
+                            if chaos is not None:
+                                chaos.on_node_start(node_id, attempt)
+                            summary = simulate_node(fleet, base, spec)
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:
+                            if retries < node_retries:
+                                retries += 1
+                                continue
+                            if on_node_error == "fail":
+                                raise
+                            span.annotate(
+                                failed=True,
+                                error_type=type(exc).__name__,
+                            )
+                            failed.append(
+                                FailedNode(
+                                    node_id=node_id,
+                                    policy=spec.policy,
+                                    graph_kind=spec.graph_kind,
+                                    error_type=type(exc).__name__,
+                                    message=str(exc),
+                                    spec_digest=node_spec_digest(spec),
+                                    retries=retries,
+                                )
+                            )
+                            break
+                        else:
+                            span.annotate(dmr=summary.dmr)
+                            summaries.append(summary)
+                            break
+    return summaries, failed, time.perf_counter() - start, records
 
 
 # ----------------------------------------------------------------------
@@ -209,8 +288,32 @@ class FleetRunner:
         cache when caching is enabled (``REPRO_NO_CACHE`` unset);
         ``False`` disables shard checkpointing outright.
     observer:
-        Receives one ``fleet_shard`` event per shard plus the run
-        trailer via :meth:`Observer.finish`.
+        Receives one ``fleet_shard`` event per shard, supervisor
+        events (``task_retry``/``worker_lost``/``shard_timeout``/
+        ``node_quarantined``) plus the run trailer via
+        :meth:`Observer.finish`.
+    max_retries:
+        Supervisor re-dispatches per shard (and in-worker retries per
+        node) beyond the first attempt.
+    task_timeout:
+        Per-shard wall-clock budget in seconds (``None`` disables).
+        Forces pool mode: a hung shard can only be abandoned from
+        another process.
+    on_node_error:
+        ``"quarantine"`` (default) records a raising node as a
+        :class:`~repro.fleet.result.FailedNode` and completes the run
+        degraded; ``"fail"`` aborts on the first permanent failure
+        with :class:`~repro.reliability.supervisor.SupervisorError`.
+    chaos:
+        Optional :class:`~repro.reliability.chaos.ChaosSpec` injecting
+        deterministic worker kills, hangs, and poison nodes.  Forces
+        pool mode while active.  The chaos descriptor is mixed into
+        shard-checkpoint digests so chaos runs never pollute the
+        clean-run cache.
+    exclude_nodes:
+        Node ids to skip entirely — the tool for reproducing a
+        degraded run's healthy subset fault-free.  Never affects the
+        summaries of the nodes that do run.
     """
 
     def __init__(
@@ -220,9 +323,23 @@ class FleetRunner:
         shard_size: Optional[int] = None,
         cache=None,
         observer: Optional[Observer] = None,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        on_node_error: str = "quarantine",
+        chaos: Optional[ChaosSpec] = None,
+        exclude_nodes: Optional[Sequence[int]] = None,
     ) -> None:
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if on_node_error not in ("quarantine", "fail"):
+            raise ValueError(
+                "on_node_error must be 'quarantine' or 'fail', got "
+                f"{on_node_error!r}"
+            )
+        if max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
         self.spec = spec
         self.workers = resolve_workers(workers)
         self.shard_size = int(shard_size or DEFAULT_SHARD_SIZE)
@@ -233,43 +350,127 @@ class FleetRunner:
         else:
             self.cache = cache
         self.observer = observer if observer is not None else NULL_OBSERVER
-
-    # ------------------------------------------------------------------
-    def shards(self) -> List[Tuple[int, ...]]:
-        """Node ids partitioned into contiguous shards."""
-        ids = range(self.spec.n_nodes)
-        return [
-            tuple(ids[lo : lo + self.shard_size])
-            for lo in range(0, self.spec.n_nodes, self.shard_size)
-        ]
-
-    def _shard_digest(self, node_ids: Sequence[int]) -> str:
-        return hash_key(
-            {
-                "artifact": SHARD_KIND,
-                "fleet": self.spec.describe(),
-                "shard": list(node_ids),
-            }
+        self.max_retries = int(max_retries)
+        self.task_timeout = task_timeout
+        self.on_node_error = on_node_error
+        self.chaos = chaos if chaos is not None and chaos.active else None
+        self.exclude_nodes: FrozenSet[int] = frozenset(
+            exclude_nodes or ()
         )
 
     # ------------------------------------------------------------------
+    def shards(self) -> List[Tuple[int, ...]]:
+        """Node ids partitioned into contiguous shards.
+
+        Excluded nodes are dropped *before* sharding, so an
+        ``--exclude-nodes`` re-run packs the surviving ids into a
+        different shard layout — which the determinism contract says
+        must not matter.
+        """
+        ids = [
+            i for i in range(self.spec.n_nodes)
+            if i not in self.exclude_nodes
+        ]
+        return [
+            tuple(ids[lo : lo + self.shard_size])
+            for lo in range(0, len(ids), self.shard_size)
+        ]
+
+    def _shard_digest(self, node_ids: Sequence[int]) -> str:
+        key = {
+            "artifact": SHARD_KIND,
+            "fleet": self.spec.describe(),
+            "shard": list(node_ids),
+        }
+        if self.chaos is not None:
+            # Chaos mutates outcomes (quarantines, retry counts):
+            # never share checkpoints with clean runs.
+            key["chaos"] = self.chaos.describe()
+        return hash_key(key)
+
+    # ------------------------------------------------------------------
+    def _quarantine_shard(
+        self, node_ids: Sequence[int], failure: TaskFailure
+    ) -> List[FailedNode]:
+        """Turn a permanently-failed *shard* into per-node records.
+
+        Reached only under ``on_node_error="quarantine"`` when the
+        supervisor gave up on the whole work item (timeout exhausted,
+        worker died in isolation): blame cannot be pinned on one node,
+        so every node of the shard is quarantined with the shard's
+        failure reason.
+        """
+        return [
+            FailedNode(
+                node_id=node_id,
+                policy=self.spec.node_spec(node_id).policy,
+                graph_kind=self.spec.node_spec(node_id).graph_kind,
+                error_type=failure.error_type,
+                message=f"shard failed: {failure.message}",
+                spec_digest=node_spec_digest(self.spec.node_spec(node_id)),
+                retries=failure.retries,
+            )
+            for node_id in node_ids
+        ]
+
+    def _emit_quarantines(self, failed: Sequence[FailedNode]) -> None:
+        for f in failed:
+            self.observer.node_quarantined(
+                node_id=f.node_id,
+                node_policy=f.policy,
+                error_type=f.error_type,
+                spec_digest=f.spec_digest,
+                retries=f.retries,
+                reason=(
+                    f"{f.error_type} on every allowed attempt: "
+                    f"{f.message}"
+                ),
+            )
+
+    @staticmethod
+    def _load_checkpoint(cached):
+        """Tolerant shard-checkpoint read.
+
+        Pre-supervision checkpoints stored a bare summary list; the
+        supervised format is ``(summaries, failed)``.  Anything else
+        is a corrupt entry — reported as ``None`` (recompute).
+        """
+        if isinstance(cached, list):
+            return cached, []
+        if (
+            isinstance(cached, tuple)
+            and len(cached) == 2
+            and isinstance(cached[0], list)
+            and isinstance(cached[1], list)
+        ):
+            return cached
+        return None
+
     def run(self) -> FleetResult:
         """Simulate every node; returns the aggregate.
 
         Checkpointed shards are loaded instead of recomputed; pending
-        shards fan out over the process pool, are checkpointed as they
-        land, and emit their ``fleet_shard`` event *at completion* (in
-        completion order — this is the live-progress pulse).
-        Summaries always combine in node-id order, so the aggregate
-        fingerprint is independent of all of this.
+        shards fan out over the supervised process pool, are
+        checkpointed as they land, and emit their ``fleet_shard``
+        event *at completion* (in completion order — this is the
+        live-progress pulse).  Summaries always combine in node-id
+        order, so the aggregate fingerprint is independent of all of
+        this — including retries, quarantines and pool rebuilds.
 
         When the observer is enabled the run is traced: a ``fleet_run``
         root span whose context rides inside each worker payload, so
         shard/node spans from every process reassemble under one root.
         """
         shards = self.shards()
+        if not shards:
+            raise ValueError(
+                "fleet has no nodes to run (everything excluded?)"
+            )
         start = time.perf_counter()
         obs = self.observer
+        if self.cache is not None:
+            # Route this run's cache-write failures through the bus.
+            self.cache.observer = obs
         tracer = getattr(obs, "tracer", None)
         if tracer is None:
             tracer = (
@@ -277,7 +478,15 @@ class FleetRunner:
                 if obs.enabled
                 else NULL_TRACER
             )
-        ready: dict = {}
+        plan: Optional[ChaosPlan] = (
+            self.chaos.plan(
+                [i for ids in shards for i in ids], len(shards)
+            )
+            if self.chaos is not None
+            else None
+        )
+        ready: Dict[int, List[NodeSummary]] = {}
+        failed_by_shard: Dict[int, List[FailedNode]] = {}
         pending: List[int] = []
         shard_aggs: dict = {}
         dmr_stream = P2Quantile(0.5)
@@ -292,12 +501,20 @@ class FleetRunner:
         ):
             for index, node_ids in enumerate(shards):
                 cached = (
-                    self.cache.get(SHARD_KIND, self._shard_digest(node_ids))
+                    self._load_checkpoint(
+                        self.cache.get(
+                            SHARD_KIND, self._shard_digest(node_ids)
+                        )
+                    )
                     if self.cache is not None
                     else None
                 )
                 if cached is not None:
-                    ready[index] = cached
+                    summaries, failed = cached
+                    ready[index] = summaries
+                    if failed:
+                        failed_by_shard[index] = failed
+                        self._emit_quarantines(failed)
                     with tracer.span(
                         "shard",
                         key=index,
@@ -308,7 +525,7 @@ class FleetRunner:
                         },
                     ):
                         pass
-                    for summary in cached:
+                    for summary in summaries:
                         dmr_stream.add(summary.dmr)
                     obs.fleet_shard(
                         index, len(shards), node_ids, cached=True,
@@ -323,16 +540,19 @@ class FleetRunner:
             )
 
             def _landed(position: int, out) -> None:
-                summaries, seconds, records = out
+                summaries, failed, seconds, records = out
                 index = pending[position]
                 ready[index] = summaries
+                if failed:
+                    failed_by_shard[index] = failed
+                    self._emit_quarantines(failed)
                 for record in records:
                     obs.emit_record(record)
                 if self.cache is not None:
                     self.cache.put(
                         SHARD_KIND,
                         self._shard_digest(shards[index]),
-                        summaries,
+                        (summaries, failed),
                     )
                 for summary in summaries:
                     dmr_stream.add(summary.dmr)
@@ -342,16 +562,52 @@ class FleetRunner:
                     p50_dmr_est=dmr_stream.estimate(-1.0),
                 )
 
-            parallel_map(
+            policy = SupervisorPolicy(
+                max_retries=self.max_retries,
+                task_timeout=self.task_timeout,
+                backoff_seed=self.spec.seed,
+                on_error=(
+                    "fail" if self.on_node_error == "fail"
+                    else "quarantine"
+                ),
+            )
+
+            def _payload(item, attempt):
+                # The supervisor re-dispatches with a fresh attempt
+                # number; chaos keys first-attempt-only faults off it.
+                return item[:-1] + (attempt,)
+
+            base_items = [
+                (
+                    self.spec, shards[i], i, wire,
+                    plan, self.max_retries, self.on_node_error, 0,
+                )
+                for i in pending
+            ]
+            sup = supervised_map(
                 _run_shard,
-                [(self.spec, shards[i], i, wire) for i in pending],
+                base_items,
+                policy=policy,
                 n_workers=self.workers,
                 observer=obs,
                 on_result=_landed,
+                prepare=_payload,
+                labels=[f"shard-{i}" for i in pending],
+                # Chaos kills call os._exit in the worker: never run
+                # them in this process.
+                force_pool=plan is not None,
             )
+            for failure in sup.failures:
+                index = pending[failure.index]
+                ready[index] = []
+                failed = self._quarantine_shard(shards[index], failure)
+                failed_by_shard[index] = failed
+                self._emit_quarantines(failed)
 
         for index in sorted(ready):
-            shard_aggs[index] = FleetAggregate.from_nodes(ready[index])
+            shard_aggs[index] = FleetAggregate.from_nodes(
+                ready[index], failed_by_shard.get(index, ())
+            )
         aggregate: Optional[FleetAggregate] = None
         for index in sorted(shard_aggs):
             aggregate = (
@@ -361,6 +617,30 @@ class FleetRunner:
             )
 
         nodes = [s for index in sorted(ready) for s in ready[index]]
+        failed_nodes = [
+            f for index in sorted(failed_by_shard)
+            for f in failed_by_shard[index]
+        ]
+        if not nodes:
+            raise SupervisorError(
+                [
+                    TaskFailure(
+                        index=f.node_id,
+                        label=f"node-{f.node_id}",
+                        error_type=f.error_type,
+                        message=f.message,
+                        retries=f.retries,
+                    )
+                    for f in failed_nodes
+                ]
+                or [
+                    TaskFailure(
+                        index=-1, label="fleet",
+                        error_type="RuntimeError",
+                        message="no healthy nodes", retries=0,
+                    )
+                ]
+            )
         wall = time.perf_counter() - start
         result = FleetResult(
             nodes,
@@ -371,8 +651,27 @@ class FleetRunner:
                 "shards": len(shards),
                 "wall_time_s": wall,
                 "nodes_per_s": len(nodes) / wall if wall > 0 else 0.0,
+                "max_retries": self.max_retries,
+                "task_timeout": self.task_timeout,
+                "on_node_error": self.on_node_error,
+                "supervisor": {
+                    "retries": sup.retries,
+                    "timeouts": sup.timeouts,
+                    "pool_rebuilds": sup.pool_rebuilds,
+                },
+                **(
+                    {"chaos": self.chaos.describe()}
+                    if self.chaos is not None
+                    else {}
+                ),
+                **(
+                    {"exclude_nodes": sorted(self.exclude_nodes)}
+                    if self.exclude_nodes
+                    else {}
+                ),
             },
             aggregate=aggregate,
+            failed_nodes=failed_nodes,
         )
         self.observer.finish(
             result_summary=result.summary(), scheduler="fleet"
@@ -386,6 +685,11 @@ def run_fleet(
     shard_size: Optional[int] = None,
     cache=None,
     observer: Optional[Observer] = None,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
+    on_node_error: str = "quarantine",
+    chaos: Optional[ChaosSpec] = None,
+    exclude_nodes: Optional[Sequence[int]] = None,
 ) -> FleetResult:
     """One-call convenience wrapper around :class:`FleetRunner`."""
     return FleetRunner(
@@ -394,4 +698,9 @@ def run_fleet(
         shard_size=shard_size,
         cache=cache,
         observer=observer,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        on_node_error=on_node_error,
+        chaos=chaos,
+        exclude_nodes=exclude_nodes,
     ).run()

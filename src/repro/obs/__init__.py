@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from .events import (
     BrownoutEvent,
+    CacheWriteFailedEvent,
     CapacitorSwitchEvent,
     CheckpointEvent,
     CoarseDecisionEvent,
@@ -43,12 +44,16 @@ from .events import (
     FleetShardEvent,
     InvariantViolationEvent,
     KNOWN_RECORD_KINDS,
+    NodeQuarantinedEvent,
     NULL_OBSERVER,
     Observer,
     PeriodEndEvent,
     PolicyFallbackEvent,
     PoolDecisionEvent,
+    ShardTimeoutEvent,
     SlotDecisionEvent,
+    TaskRetryEvent,
+    WorkerLostEvent,
 )
 from .manifest import (
     MANIFEST_SCHEMA,
@@ -101,6 +106,11 @@ __all__ = [
     "InvariantViolationEvent",
     "FleetShardEvent",
     "PoolDecisionEvent",
+    "TaskRetryEvent",
+    "WorkerLostEvent",
+    "ShardTimeoutEvent",
+    "NodeQuarantinedEvent",
+    "CacheWriteFailedEvent",
     "KNOWN_RECORD_KINDS",
     "Observer",
     "NULL_OBSERVER",

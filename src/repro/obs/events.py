@@ -39,6 +39,11 @@ __all__ = [
     "InvariantViolationEvent",
     "FleetShardEvent",
     "PoolDecisionEvent",
+    "TaskRetryEvent",
+    "WorkerLostEvent",
+    "ShardTimeoutEvent",
+    "NodeQuarantinedEvent",
+    "CacheWriteFailedEvent",
     "KNOWN_RECORD_KINDS",
     "Observer",
     "NULL_OBSERVER",
@@ -260,6 +265,95 @@ class PoolDecisionEvent(Event):
     items: int
     workers: int
     mode: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskRetryEvent(Event):
+    """The supervisor re-dispatched a failed or timed-out pool task.
+
+    ``attempt`` is the 0-based attempt that just failed; ``reason`` is
+    the structured why (``raised``, ``worker_lost``, ``timeout``) and
+    ``error_type`` the exception class name when one was raised.  No
+    simulation clock — supervision happens outside any run.
+    """
+
+    kind = "task_retry"
+
+    label: str
+    index: int
+    attempt: int
+    reason: str
+    error_type: str
+    backoff_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerLostEvent(Event):
+    """A pool worker died (``BrokenProcessPool``); the pool was rebuilt.
+
+    ``inflight`` counts the tasks that were in flight when the pool
+    broke — each is re-dispatched into the rebuilt pool.
+    """
+
+    kind = "worker_lost"
+
+    label: str
+    inflight: int
+    rebuilds: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTimeoutEvent(Event):
+    """A supervised task exceeded its per-task timeout.
+
+    The worker running it cannot be cancelled cooperatively, so the
+    pool is rebuilt and every in-flight task re-dispatched; only the
+    expired task is charged an attempt.
+    """
+
+    kind = "shard_timeout"
+
+    label: str
+    index: int
+    attempt: int
+    timeout_s: float
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeQuarantinedEvent(Event):
+    """A fleet node's simulation raised and was quarantined.
+
+    The node becomes a structured ``FailedNode`` record on the fleet
+    result instead of aborting the shard; ``spec_digest`` pins the
+    node configuration that failed, ``retries`` how many in-shard
+    re-attempts were made before giving up.
+    """
+
+    kind = "node_quarantined"
+
+    node_id: int
+    node_policy: str
+    error_type: str
+    spec_digest: str
+    retries: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheWriteFailedEvent(Event):
+    """An artifact-cache write failed (read-only or full disk).
+
+    The write degrades to a logged cache-miss — the artifact is simply
+    recomputed next time — rather than crashing the run.
+    """
+
+    kind = "cache_write_failed"
+
+    artifact_kind: str
+    digest: str
     reason: str
 
 
@@ -651,6 +745,118 @@ class Observer:
             )
         )
 
+    def task_retry(
+        self,
+        label: str,
+        index: int,
+        attempt: int,
+        reason: str,
+        error_type: str = "",
+        backoff_s: float = 0.0,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("task_retries_total").inc()
+        self.emit(
+            TaskRetryEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                label=str(label),
+                index=int(index),
+                attempt=int(attempt),
+                reason=str(reason),
+                error_type=str(error_type),
+                backoff_s=float(backoff_s),
+            )
+        )
+
+    def worker_lost(
+        self, label: str, inflight: int, rebuilds: int, reason: str
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("workers_lost_total").inc()
+        self.metrics.counter("pool_rebuilds_total").inc()
+        self.emit(
+            WorkerLostEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                label=str(label),
+                inflight=int(inflight),
+                rebuilds=int(rebuilds),
+                reason=str(reason),
+            )
+        )
+
+    def shard_timeout(
+        self,
+        label: str,
+        index: int,
+        attempt: int,
+        timeout_s: float,
+        reason: str,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("shard_timeouts_total").inc()
+        self.emit(
+            ShardTimeoutEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                label=str(label),
+                index=int(index),
+                attempt=int(attempt),
+                timeout_s=float(timeout_s),
+                reason=str(reason),
+            )
+        )
+
+    def node_quarantined(
+        self,
+        node_id: int,
+        node_policy: str,
+        error_type: str,
+        spec_digest: str,
+        retries: int,
+        reason: str,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("nodes_quarantined_total").inc()
+        self.emit(
+            NodeQuarantinedEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                node_id=int(node_id),
+                node_policy=str(node_policy),
+                error_type=str(error_type),
+                spec_digest=str(spec_digest),
+                retries=int(retries),
+                reason=str(reason),
+            )
+        )
+
+    def cache_write_failed(
+        self, artifact_kind: str, digest: str, reason: str
+    ) -> None:
+        if not self.enabled:
+            return
+        self.metrics.counter("cache_write_failures_total").inc()
+        self.emit(
+            CacheWriteFailedEvent(
+                day=-1,
+                period=-1,
+                slot=-1,
+                artifact_kind=str(artifact_kind),
+                digest=str(digest),
+                reason=str(reason),
+            )
+        )
+
     # ------------------------------------------------------------------
     def finish(
         self,
@@ -710,5 +916,10 @@ KNOWN_RECORD_KINDS = frozenset(
         InvariantViolationEvent,
         FleetShardEvent,
         PoolDecisionEvent,
+        TaskRetryEvent,
+        WorkerLostEvent,
+        ShardTimeoutEvent,
+        NodeQuarantinedEvent,
+        CacheWriteFailedEvent,
     )
 ) | {"run_summary", "span"}

@@ -190,6 +190,36 @@ class HeartbeatSink:
                 file=self.stream,
                 flush=True,
             )
+        elif kind == "task_retry":
+            print(
+                f"[retry] {record.get('label')} attempt "
+                f"{record.get('attempt')}: {record.get('reason')}",
+                file=self.stream,
+                flush=True,
+            )
+        elif kind == "worker_lost":
+            print(
+                f"[worker lost] rebuild #{record.get('rebuilds')}: "
+                f"{record.get('reason')}",
+                file=self.stream,
+                flush=True,
+            )
+        elif kind == "shard_timeout":
+            print(
+                f"[timeout] {record.get('label')} exceeded "
+                f"{record.get('timeout_s')}s: {record.get('reason')}",
+                file=self.stream,
+                flush=True,
+            )
+        elif kind == "node_quarantined":
+            print(
+                f"[quarantine] node {record.get('node_id')} "
+                f"({record.get('node_policy')}): "
+                f"{record.get('error_type')} after "
+                f"{record.get('retries')} retr(y/ies)",
+                file=self.stream,
+                flush=True,
+            )
 
 
 # ----------------------------------------------------------------------

@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CACHE_VERSION",
@@ -137,10 +140,21 @@ class ArtifactCache:
     atomic (tmp file + rename) so concurrent experiment processes can
     share one cache; corrupt or unreadable entries are treated as
     misses and removed.
+
+    The cache is an accelerator, never a dependency: a write that
+    fails with :class:`OSError` (read-only mount, full disk, a
+    ``REPRO_CACHE_DIR`` that is not a directory) is logged, counted in
+    ``write_failures``, surfaced as a ``cache_write_failed`` obs event
+    when an ``observer`` is attached — and the run continues exactly
+    as if caching were disabled.
     """
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    def __init__(self, root: Optional[Path] = None, observer=None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.observer = observer
+        #: OSError-swallowed writes this process (each one a miss on
+        #: the next read, never a crash).
+        self.write_failures = 0
 
     def path_for(self, kind: str, digest: str) -> Path:
         return self.root / kind / f"{digest}.pkl"
@@ -161,21 +175,40 @@ class ArtifactCache:
                 pass
             return None
 
-    def put(self, kind: str, digest: str, obj: Any) -> Path:
-        """Atomically store ``obj``; returns the entry path."""
+    def put(self, kind: str, digest: str, obj: Any) -> Optional[Path]:
+        """Atomically store ``obj``; returns the entry path.
+
+        An :class:`OSError` anywhere in the write path degrades to a
+        logged no-op returning ``None``: the entry is simply not
+        cached.  Pickling errors still raise — an unpicklable artifact
+        is a caller bug, not an environment fault.
+        """
         path = self.path_for(kind, digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as fh:
                 pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError as exc:
+            self.write_failures += 1
+            logger.warning(
+                "cache write failed for %s/%s (%s); continuing uncached",
+                kind, digest[:12], exc,
+            )
+            if self.observer is not None:
+                self.observer.cache_write_failed(
+                    artifact_kind=kind,
+                    digest=digest,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            return None
         finally:
-            if tmp.exists():
-                try:
+            try:
+                if tmp.exists():
                     tmp.unlink()
-                except OSError:
-                    pass
+            except OSError:
+                pass
         return path
 
     def clear(self, kind: Optional[str] = None) -> int:

@@ -1,5 +1,6 @@
-"""Fault injection and robustness evaluation."""
+"""Fault injection, robustness evaluation and supervised execution."""
 
+from .chaos import ChaosError, ChaosPlan, ChaosSpec
 from .faults import (
     IntermittentShading,
     PanelDegradation,
@@ -15,6 +16,15 @@ from .runtime import (
     FaultPlan,
     FaultWindow,
     runtime_scenario,
+)
+from .supervisor import (
+    SupervisedResult,
+    SupervisorError,
+    SupervisorPolicy,
+    TaskFailure,
+    backoff_delay,
+    supervised_map,
+    supervised_traced_map,
 )
 
 __all__ = [
@@ -32,4 +42,14 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "runtime_scenario",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosSpec",
+    "SupervisorPolicy",
+    "SupervisedResult",
+    "SupervisorError",
+    "TaskFailure",
+    "backoff_delay",
+    "supervised_map",
+    "supervised_traced_map",
 ]

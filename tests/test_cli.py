@@ -297,6 +297,7 @@ class TestFleetCommand:
 # 0 = success                    2 = bad input / bad data
 # 3 = checkpoint error           4 = simulation failure
 # 5 = perf regression            6 = verification failure
+# 7 = completed degraded (healthy subset valid, nodes quarantined)
 #
 # Codes 0/2/3 exercise real CLI paths end to end.  Codes 4/5/6 cannot
 # be triggered from legal CLI input without multi-minute runs (the
@@ -410,6 +411,16 @@ def _case_verify_failure(tmp_path, monkeypatch):
     return ["verify", "--level", "quick", "--quiet"]
 
 
+def _case_degraded_fleet(tmp_path, monkeypatch):
+    # A real end-to-end path: one chaos-poisoned node out of four is
+    # quarantined and the run completes degraded.
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    return [
+        "fleet", "run", "--nodes", "4", "--seed", "1",
+        "--shard-size", "2", "--chaos-poison", "1", "--chaos-seed", "3",
+    ]
+
+
 EXIT_CODE_MATRIX = [
     ("success", _case_ok, 0),
     ("bad-input-value", _case_value_error, 2),
@@ -418,6 +429,7 @@ EXIT_CODE_MATRIX = [
     ("simulation", _case_invalid_decision, 4),
     ("perf-regression", _case_perf_regression, 5),
     ("verify-failure", _case_verify_failure, 6),
+    ("degraded-fleet", _case_degraded_fleet, 7),
 ]
 
 
@@ -433,4 +445,6 @@ class TestExitCodeMatrix:
         assert code == expected
 
     def test_matrix_covers_every_documented_code(self):
-        assert {code for _, _, code in EXIT_CODE_MATRIX} == {0, 2, 3, 4, 5, 6}
+        assert {code for _, _, code in EXIT_CODE_MATRIX} == {
+            0, 2, 3, 4, 5, 6, 7,
+        }
