@@ -38,7 +38,8 @@ Commands
     Fleet-scale simulation: ``fleet run --nodes N --seed S`` simulates
     N heterogeneous nodes sharing one base solar trace and prints the
     population report plus the deterministic aggregate fingerprint
-    (bit-identical for any ``--workers``/``--shard-size``);
+    (bit-identical for any ``--workers``/``--shard-size`` and for
+    ``--engine batch`` vs ``--engine per-node``);
     ``fleet report result.json`` re-renders a saved ``--out`` file.
     Execution is supervised: ``--max-retries``/``--task-timeout``
     bound failures, ``--on-node-error quarantine`` (default) completes
@@ -375,6 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, metavar="N",
         help="nodes per work item (default 32); never changes the "
         "results",
+    )
+    fleet_run.add_argument(
+        "--engine", choices=("batch", "per-node"), default="batch",
+        help="shard executor: batch (default) advances eligible "
+        "nodes through one node-major vectorized engine, per-node "
+        "steps one scalar engine per node; bit-identical results, "
+        "only nodes/s differs",
     )
     fleet_run.add_argument(
         "--no-cache", action="store_true",
@@ -718,6 +726,14 @@ def _cmd_bench(args, out) -> int:
         f"{fleet['workload']})",
         file=out,
     )
+    fb = b["fleet_batch"]
+    print(
+        f"fleet batch:   {fb['nodes_per_sec']:.1f} nodes/s "
+        f"({fb['nodes']} nodes in {fb['seconds']:.2f}s, "
+        f"{fb['speedup_vs_per_node']:.1f}x vs per-node, "
+        f"{fb['workload']})",
+        file=out,
+    )
     print(f"report:        {path}", file=out)
     if not args.no_history:
         hist = perf_bench.append_history(report, history_path)
@@ -859,6 +875,7 @@ def _cmd_fleet(args, out) -> int:
             on_node_error=args.on_node_error,
             chaos=chaos,
             exclude_nodes=exclude,
+            engine=args.engine,
         ).run()
     except KeyboardInterrupt:
         # The supervisor has already torn the pool down on the way

@@ -27,15 +27,18 @@ from .result import (
 )
 from .runner import (
     DEFAULT_SHARD_SIZE,
+    ENGINES,
     FleetRunner,
     node_spec_digest,
     run_fleet,
     simulate_node,
+    simulate_shard_batch,
 )
 from .spec import FLEET_POLICIES, FleetSpec, NodeSpec, node_trace
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "ENGINES",
     "FLEET_POLICIES",
     "FLEET_RESULT_SCHEMA",
     "FailedNode",
@@ -49,4 +52,5 @@ __all__ = [
     "node_trace",
     "run_fleet",
     "simulate_node",
+    "simulate_shard_batch",
 ]

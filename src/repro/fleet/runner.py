@@ -22,8 +22,11 @@ Two layers of reuse ride on the existing artifact cache:
 
 Determinism contract: node summaries are pure functions of ``(fleet
 seed, node id)``; shards are combined in node-id order; therefore
-``FleetResult.fingerprint()`` is bit-identical for any worker count or
-shard size (guarded by tests and the ``repro fleet`` acceptance check).
+``FleetResult.fingerprint()`` is bit-identical for any worker count,
+shard size or shard executor — the default node-major batched engine
+(:mod:`repro.sim.batch`) and the scalar per-node engine produce the
+same bytes (guarded by tests, the batched-vs-per-node oracle and the
+``repro fleet`` acceptance check).
 
 Execution is *supervised* (:mod:`repro.reliability.supervisor`): a
 raising node is retried in its worker and then quarantined into a
@@ -76,7 +79,15 @@ __all__ = [
     "node_spec_digest",
     "run_fleet",
     "simulate_node",
+    "simulate_shard_batch",
 ]
+
+#: Shard executors: ``batch`` advances every eligible node of a shard
+#: through one node-major :mod:`repro.sim.batch` engine (per-node
+#: fallback for ineligible configs); ``per-node`` steps one scalar
+#: engine per node.  Bit-identical by contract — guarded by the
+#: batched-vs-per-node oracle and the conformance test wall.
+ENGINES = ("batch", "per-node")
 
 #: Nodes per work item.  Small enough to load-balance a handful of
 #: workers on mid-sized fleets, big enough that the per-item pickle and
@@ -134,6 +145,29 @@ def _proposed_policy(fleet: FleetSpec, graph_kind: str):
     return pipeline.run(train_trace, cache=cache)
 
 
+def _summarize(spec: NodeSpec, graph, result) -> NodeSummary:
+    """Reduce one node's :class:`SimulationResult` to its summary.
+
+    Shared by the per-node and batched executors so both paths derive
+    the fingerprint (and every aggregate input) identically.
+    """
+    return NodeSummary(
+        node_id=spec.node_id,
+        graph_kind=spec.graph_kind,
+        policy=spec.policy,
+        num_tasks=len(graph),
+        panel_scale=spec.panel_scale,
+        bank_farads=tuple(spec.bank_farads),
+        dmr=result.dmr,
+        energy_utilization=result.energy_utilization,
+        migration_efficiency=result.migration_efficiency,
+        brownout_slots=result.total_brownout_slots,
+        solar_energy=result.total_solar_energy,
+        load_energy=result.total_load_energy,
+        fingerprint=result_fingerprint(result),
+    )
+
+
 def simulate_node(fleet: FleetSpec, base_trace, spec: NodeSpec) -> NodeSummary:
     """Simulate one fleet node and reduce it to a :class:`NodeSummary`.
 
@@ -153,21 +187,56 @@ def simulate_node(fleet: FleetSpec, base_trace, spec: NodeSpec) -> NodeSummary:
         )
         scheduler = _make_scheduler(spec.policy, spec.scheduler_seed)
     result = simulate(node, graph, trace, scheduler, strict=False)
-    return NodeSummary(
-        node_id=spec.node_id,
-        graph_kind=spec.graph_kind,
+    return _summarize(spec, graph, result)
+
+
+def _batch_case(spec: NodeSpec, graph, base_trace):
+    """Build the :class:`~repro.sim.batch.BatchCase` for one node."""
+    from ..sim.batch import BatchCase
+
+    return BatchCase(
+        graph=graph,
+        trace=node_trace(base_trace, spec),
+        capacitors=tuple(
+            SuperCapacitor(capacitance=c) for c in spec.bank_farads
+        ),
         policy=spec.policy,
-        num_tasks=len(graph),
-        panel_scale=spec.panel_scale,
-        bank_farads=tuple(spec.bank_farads),
-        dmr=result.dmr,
-        energy_utilization=result.energy_utilization,
-        migration_efficiency=result.migration_efficiency,
-        brownout_slots=result.total_brownout_slots,
-        solar_energy=result.total_solar_energy,
-        load_energy=result.total_load_energy,
-        fingerprint=result_fingerprint(result),
+        scheduler_seed=spec.scheduler_seed,
     )
+
+
+def simulate_shard_batch(
+    fleet: FleetSpec, base_trace, specs: Sequence[NodeSpec]
+) -> List[NodeSummary]:
+    """Batched counterpart of mapping :func:`simulate_node` over specs.
+
+    Eligible nodes (policy in :data:`~repro.sim.batch.BATCH_POLICIES`,
+    task count within the batch width) advance together through one
+    node-major engine; the rest — ``proposed``/``dvfs`` policies,
+    oversized graphs — run through :func:`simulate_node`.  Summaries
+    come back in input order and are bit-identical to the per-node
+    path (the batched-vs-per-node oracle holds this contract).
+    """
+    from ..sim.batch import batch_ineligibility, simulate_batch
+
+    specs = list(specs)
+    graphs = [build_graph(s.graph_kind) for s in specs]
+    eligible = [
+        i
+        for i, (s, g) in enumerate(zip(specs, graphs))
+        if batch_ineligibility(s.policy, g) is None
+    ]
+    summaries: List[Optional[NodeSummary]] = [None] * len(specs)
+    if eligible:
+        cases = [
+            _batch_case(specs[i], graphs[i], base_trace) for i in eligible
+        ]
+        for i, result in zip(eligible, simulate_batch(cases)):
+            summaries[i] = _summarize(specs[i], graphs[i], result)
+    for i, spec in enumerate(specs):
+        if summaries[i] is None:
+            summaries[i] = simulate_node(fleet, base_trace, spec)
+    return [s for s in summaries if s is not None]
 
 
 def node_spec_digest(spec: NodeSpec) -> str:
@@ -190,14 +259,25 @@ def _run_shard(item):
     once per shard rather than shipping the power array per item.
 
     The work item is ``(spec, node_ids, shard_index, ctx_wire,
-    chaos_plan, node_retries, on_node_error, attempt)``: ``ctx_wire``
-    is the parent's serialized span context (or ``None`` when
-    untraced) and ``attempt`` is the supervisor's re-dispatch count
-    (chaos keys first-attempt-only faults off it).  The worker opens a
-    ``shard`` span keyed by the shard index and one ``node`` span per
-    node id — explicit keys, so the span ids are identical whichever
-    process (or attempt) runs the shard — and returns the collected
-    span records with the summaries for the parent to re-emit.
+    chaos_plan, node_retries, on_node_error, engine, attempt)``:
+    ``ctx_wire`` is the parent's serialized span context (or ``None``
+    when untraced) and ``attempt`` is the supervisor's re-dispatch
+    count (chaos keys first-attempt-only faults off it).  The worker
+    opens a ``shard`` span keyed by the shard index and one ``node``
+    span per per-node-simulated id — explicit keys, so the span ids
+    are identical whichever process (or attempt) runs the shard — and
+    returns the collected span records with the summaries for the
+    parent to re-emit.
+
+    With ``engine="batch"`` (and no chaos plan — chaos faults are
+    keyed per node, so chaos runs always step per node) the shard's
+    batch-eligible nodes advance together through one
+    :mod:`repro.sim.batch` engine under a single ``batch`` child span
+    instead of per-node ``node`` spans; ineligible nodes — and, if the
+    batched engine itself raises, every node it covered — fall back to
+    the per-node loop below, which keeps its retry/quarantine
+    semantics.  Summaries are reassembled in ``node_ids`` order either
+    way, so the executor never shows through the fingerprint.
 
     A node whose simulation raises is retried up to ``node_retries``
     times in place (immediately — the engine is deterministic, the
@@ -208,22 +288,71 @@ def _run_shard(item):
     """
     (
         fleet, node_ids, shard_index, ctx_wire,
-        chaos, node_retries, on_node_error, attempt,
+        chaos, node_retries, on_node_error, engine, attempt,
     ) = item
     if chaos is not None:
         chaos.on_shard_start(shard_index, attempt)
     start = time.perf_counter()
     tracer, records = collecting_tracer(ctx_wire)
     base = fleet.base_trace()
-    summaries: List[NodeSummary] = []
+    done: Dict[int, NodeSummary] = {}
     failed: List[FailedNode] = []
     with activate(tracer):
         with tracer.span(
             "shard",
             key=shard_index,
-            attrs={"shard_index": shard_index, "n_nodes": len(node_ids)},
+            attrs={
+                "shard_index": shard_index,
+                "n_nodes": len(node_ids),
+                "engine": engine,
+            },
         ):
+            if engine == "batch" and chaos is None:
+                from ..sim.batch import batch_ineligibility, simulate_batch
+
+                eligible = []
+                for node_id in node_ids:
+                    spec = fleet.node_spec(node_id)
+                    graph = build_graph(spec.graph_kind)
+                    if batch_ineligibility(spec.policy, graph) is None:
+                        eligible.append((node_id, spec, graph))
+                if eligible:
+                    with tracer.span(
+                        "batch",
+                        key=shard_index,
+                        attrs={
+                            "shard_index": shard_index,
+                            "n_nodes": len(eligible),
+                        },
+                    ) as span:
+                        try:
+                            results = simulate_batch(
+                                [
+                                    _batch_case(spec, graph, base)
+                                    for _, spec, graph in eligible
+                                ]
+                            )
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:
+                            # Whole-batch failure: annotate and let the
+                            # per-node loop (with its retry/quarantine
+                            # machinery) re-run every covered node.
+                            span.annotate(
+                                failed=True,
+                                error_type=type(exc).__name__,
+                            )
+                        else:
+                            for (node_id, spec, graph), result in zip(
+                                eligible, results
+                            ):
+                                done[node_id] = _summarize(
+                                    spec, graph, result
+                                )
+                            span.annotate(n_batched=len(results))
             for node_id in node_ids:
+                if node_id in done:
+                    continue
                 spec = fleet.node_spec(node_id)
                 with tracer.span(
                     "node",
@@ -262,8 +391,9 @@ def _run_shard(item):
                             break
                         else:
                             span.annotate(dmr=summary.dmr)
-                            summaries.append(summary)
+                            done[node_id] = summary
                             break
+    summaries = [done[i] for i in node_ids if i in done]
     return summaries, failed, time.perf_counter() - start, records
 
 
@@ -283,6 +413,14 @@ class FleetRunner:
     shard_size:
         Nodes per work item (default :data:`DEFAULT_SHARD_SIZE`).
         Never affects results.
+    engine:
+        Shard executor (:data:`ENGINES`): ``"batch"`` (default)
+        advances every batch-eligible node of a shard through one
+        node-major :mod:`repro.sim.batch` engine and steps the rest
+        per node; ``"per-node"`` forces the scalar engine everywhere.
+        Bit-identical by contract, so it never affects results — only
+        nodes/s — and shard checkpoints are shared across engines.
+        Chaos runs always execute per node (faults key on node ids).
     cache:
         Shard-checkpoint store.  ``None`` uses the default artifact
         cache when caching is enabled (``REPRO_NO_CACHE`` unset);
@@ -328,9 +466,14 @@ class FleetRunner:
         on_node_error: str = "quarantine",
         chaos: Optional[ChaosSpec] = None,
         exclude_nodes: Optional[Sequence[int]] = None,
+        engine: str = "batch",
     ) -> None:
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         if on_node_error not in ("quarantine", "fail"):
             raise ValueError(
                 "on_node_error must be 'quarantine' or 'fail', got "
@@ -357,6 +500,7 @@ class FleetRunner:
         self.exclude_nodes: FrozenSet[int] = frozenset(
             exclude_nodes or ()
         )
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def shards(self) -> List[Tuple[int, ...]]:
@@ -377,6 +521,9 @@ class FleetRunner:
         ]
 
     def _shard_digest(self, node_ids: Sequence[int]) -> str:
+        # Deliberately engine-independent: both executors are
+        # bit-identical (oracle-guarded), so a checkpoint written by
+        # either serves both.
         key = {
             "artifact": SHARD_KIND,
             "fleet": self.spec.describe(),
@@ -580,7 +727,8 @@ class FleetRunner:
             base_items = [
                 (
                     self.spec, shards[i], i, wire,
-                    plan, self.max_retries, self.on_node_error, 0,
+                    plan, self.max_retries, self.on_node_error,
+                    self.engine, 0,
                 )
                 for i in pending
             ]
@@ -648,6 +796,7 @@ class FleetRunner:
                 **self.spec.describe(),
                 "workers": self.workers,
                 "shard_size": self.shard_size,
+                "engine": self.engine,
                 "shards": len(shards),
                 "wall_time_s": wall,
                 "nodes_per_s": len(nodes) / wall if wall > 0 else 0.0,
@@ -690,6 +839,7 @@ def run_fleet(
     on_node_error: str = "quarantine",
     chaos: Optional[ChaosSpec] = None,
     exclude_nodes: Optional[Sequence[int]] = None,
+    engine: str = "batch",
 ) -> FleetResult:
     """One-call convenience wrapper around :class:`FleetRunner`."""
     return FleetRunner(
@@ -703,4 +853,5 @@ def run_fleet(
         on_node_error=on_node_error,
         chaos=chaos,
         exclude_nodes=exclude_nodes,
+        engine=engine,
     ).run()

@@ -7,6 +7,9 @@ Times the three things this reproduction spends wall-clock on —
 - the offline stage (cold train vs a disk-cache hit),
 - an end-to-end evaluation suite, serial vs the parallel runner
   (the fig-9 monthly sweep in full mode),
+- fleet throughput (nodes/s) through both shard executors: the scalar
+  per-node engine and the batched node-major engine, with the batch
+  speedup vs per-node reported from the same run,
 
 — and writes the numbers to ``BENCH_perf.json`` so the perf trajectory
 is tracked PR-over-PR.  :func:`compare_to_baseline` implements the CI
@@ -180,13 +183,51 @@ def _bench_fleet(quick: bool) -> Dict[str, Any]:
     n_nodes = 16 if quick else 64
     spec = FleetSpec(n_nodes=n_nodes, seed=0)
     t0 = time.perf_counter()
-    result = FleetRunner(spec, workers=1, cache=False).run()
+    result = FleetRunner(
+        spec, workers=1, cache=False, engine="per-node"
+    ).run()
     seconds = time.perf_counter() - t0
     return {
-        "workload": f"fleet/{n_nodes}n/1d/seed0",
+        "workload": f"fleet/{n_nodes}n/1d/seed0/per-node",
         "nodes": n_nodes,
         "seconds": seconds,
         "nodes_per_sec": n_nodes / seconds,
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def _bench_fleet_batch(
+    quick: bool, per_node_nodes_per_sec: float
+) -> Dict[str, Any]:
+    """Fleet throughput through the batched node-major engine.
+
+    One whole-fleet shard (``shard_size=n_nodes``) so the number
+    measures the vectorized core, not shard bookkeeping.  The fleet is
+    larger than the per-node benchmark's — batching amortizes per-slot
+    numpy dispatch over the batch width, so throughput keeps rising
+    with node count — and the reported ``speedup_vs_per_node`` divides
+    by the per-node engine's nodes/s from the same bench run.
+    """
+    from ..fleet import FleetRunner, FleetSpec
+
+    n_nodes = 256 if quick else 1024
+    spec = FleetSpec(n_nodes=n_nodes, seed=0)
+    t0 = time.perf_counter()
+    result = FleetRunner(
+        spec, workers=1, shard_size=n_nodes, cache=False, engine="batch"
+    ).run()
+    seconds = time.perf_counter() - t0
+    nodes_per_sec = n_nodes / seconds
+    return {
+        "workload": f"fleet/{n_nodes}n/1d/seed0/batch",
+        "nodes": n_nodes,
+        "seconds": seconds,
+        "nodes_per_sec": nodes_per_sec,
+        "speedup_vs_per_node": (
+            nodes_per_sec / per_node_nodes_per_sec
+            if per_node_nodes_per_sec > 0
+            else 0.0
+        ),
         "fingerprint": result.fingerprint(),
     }
 
@@ -210,6 +251,10 @@ def run_bench(quick: bool = False, workers: int = 4) -> Dict[str, Any]:
             "fleet": _bench_fleet(quick),
         },
     }
+    fleet = report["benchmarks"]["fleet"]
+    report["benchmarks"]["fleet_batch"] = _bench_fleet_batch(
+        quick, fleet["nodes_per_sec"]
+    )
     return report
 
 
@@ -238,6 +283,13 @@ def append_history(report: Dict[str, Any], path=HISTORY_PATH) -> Path:
         "fleet_nodes_per_sec": bench["fleet"]["nodes_per_sec"],
         "fleet_fingerprint": bench["fleet"]["fingerprint"],
     }
+    if "fleet_batch" in bench:
+        entry["fleet_batch_nodes_per_sec"] = (
+            bench["fleet_batch"]["nodes_per_sec"]
+        )
+        entry["fleet_batch_speedup"] = (
+            bench["fleet_batch"]["speedup_vs_per_node"]
+        )
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     with out.open("a") as fh:
@@ -272,7 +324,8 @@ def render_history(path=HISTORY_PATH) -> str:
     lines = [
         f"bench history: {len(rows)} run(s) from {src}",
         f"{'when (unix)':>14}  {'quick':>5}  {'slots/s':>10}  "
-        f"{'cache x':>8}  {'par x':>6}  {'fleet n/s':>10}",
+        f"{'cache x':>8}  {'par x':>6}  {'fleet n/s':>10}  "
+        f"{'batch n/s':>10}",
     ]
     for entry in rows[-20:]:
         lines.append(
@@ -281,7 +334,8 @@ def render_history(path=HISTORY_PATH) -> str:
             f"{entry.get('slots_per_sec', 0):>10.0f}  "
             f"{entry.get('cache_speedup', 0):>8.1f}  "
             f"{entry.get('parallel_speedup', 0):>6.2f}  "
-            f"{entry.get('fleet_nodes_per_sec', 0):>10.2f}"
+            f"{entry.get('fleet_nodes_per_sec', 0):>10.2f}  "
+            f"{entry.get('fleet_batch_nodes_per_sec', 0):>10.1f}"
         )
     latest = rows[-1].get("slots_per_sec", 0.0)
     med = median.estimate(latest)

@@ -1,0 +1,863 @@
+"""Batched node-major engine core: one vectorized step per fleet shard.
+
+The per-node :class:`~repro.sim.engine.SimulationEngine` advances one
+node per Python slot iteration; fleets pay that Python overhead once
+per node.  This module keeps the *same* simulation semantics but turns
+the state into node-major numpy arrays shaped ``(n_nodes, ...)`` —
+remaining work, deadline misses, bank voltages, NVP power states — so
+one slot update advances every node of a shard simultaneously.
+
+Bit-identity contract
+---------------------
+The batched engine is not "approximately" the per-node engine: every
+floating-point operation is replayed elementwise in the same order, so
+``result_fingerprint`` of a batched run equals the per-node run
+byte-for-byte.  The layout decisions that make this work:
+
+* **Task space vs position space.**  Runtime state (remaining, missed,
+  started) lives in original task order; the static priority order the
+  schedulers use — sorted by ``(deadline_slot, index)`` — is a
+  precomputed per-node permutation, applied through a precomputed
+  row-index/permutation fancy-index pair.
+  Padded task slots (heterogeneous graph sizes) complete the
+  permutation bijectively so scatters are exact.
+* **Sequential masked sums.**  ``np.sum`` uses pairwise accumulation,
+  which is *not* the left-to-right order of the scalar engine's
+  ``sum(...)``; load power and leakage losses are therefore accumulated
+  with an explicit loop over the (≤ :data:`MAX_BATCH_TASKS`) position
+  columns, adding a masked ``0.0`` where a node did not choose the
+  task — exact, because ``x + 0.0`` is ``x`` for every non-negative
+  ``x``.
+* **Python pow where the scalar engine uses it.**  numpy's pow ufunc
+  is not bit-identical to libm's ``**`` on some platforms; the leakage
+  voltage power keeps the per-element Python ``**`` exactly like
+  :meth:`~repro.energy.bank.CapacitorBank.leak_all`.  The regulator
+  curves go through the same ``np.power`` ufunc in both scalar and
+  array form (see :class:`~repro.energy.regulator.RegulatorCurve`), so
+  they vectorize directly.
+* **Masked physics recurrences.**  Charge/discharge keep the 4-substep
+  voltage recurrence of :class:`~repro.energy.capacitor.CapacitorState`
+  with an ``alive`` mask standing in for the scalar ``break``; rows
+  that stop updating never resurrect, matching break semantics.
+* **Per-node Python only off the hot path.**  WCMA prediction and
+  energy admission (inter-task rows) run per node once per *period*;
+  the ``random`` policy keeps its per-node ``Generator`` draw loop so
+  the consumed stream is identical.
+
+Eligibility: :func:`batch_ineligibility` names why a case cannot take
+the batched path (unsupported policy, too many tasks for the exact
+subset-enumeration table, a fault injector).  :func:`simulate_cases`
+dispatches — batched where possible, the per-node engine otherwise —
+so callers get one uniform entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..energy.capacitor import SuperCapacitor
+from ..schedulers.lsa import admit_by_energy
+from ..solar.prediction import WCMAPredictor
+from ..solar.trace import SolarTrace
+from ..tasks.graph import TaskGraph
+from .recorder import PeriodRecord, SimulationResult
+from .state import COMPLETION_EPS
+
+__all__ = [
+    "BATCH_POLICIES",
+    "MAX_BATCH_TASKS",
+    "BatchCase",
+    "batch_ineligibility",
+    "simulate_batch",
+    "simulate_cases",
+]
+
+#: Policies the batched core implements (same decision rules as the
+#: per-node schedulers of the fleet pool, minus the trained ones).
+BATCH_POLICIES: Tuple[str, ...] = (
+    "asap",
+    "inter-task",
+    "intra-task",
+    "random",
+)
+
+#: Largest task count the batched intra-task subset table enumerates —
+#: the same bound as ``best_power_match(max_exact=12)``.
+MAX_BATCH_TASKS = 12
+
+#: Batched policy name -> scheduler ``name`` recorded on results.
+_SCHEDULER_NAMES = {
+    "asap": "asap-edf",
+    "inter-task": "inter-task-lsa",
+    "intra-task": "intra-task",
+    "random": "random",
+}
+
+
+@dataclasses.dataclass(eq=False)
+class BatchCase:
+    """One node's configuration for a batched run.
+
+    Defaults mirror what :func:`repro.fleet.runner.simulate_node`
+    builds: a :class:`~repro.node.node.SensorNode` with default panel,
+    PMU and NVPs — only the pieces that vary across a fleet (graph,
+    weather, bank sizes, policy, seed) are parameters here.
+    """
+
+    graph: TaskGraph
+    trace: SolarTrace
+    capacitors: Tuple[SuperCapacitor, ...]
+    policy: str
+    scheduler_seed: int = 0
+    #: Present only so dispatchers can carry fault-scenario cases; a
+    #: non-None injector always routes to the per-node engine.
+    fault_injector: object = None
+
+
+def batch_ineligibility(
+    policy: str,
+    graph: Optional[TaskGraph],
+    fault_injector: object = None,
+) -> Optional[str]:
+    """Why a case cannot take the batched path; ``None`` when it can."""
+    if policy not in BATCH_POLICIES:
+        return f"policy {policy!r} not batched"
+    if fault_injector is not None:
+        return "fault injection is per-node"
+    if graph is not None and len(graph) > MAX_BATCH_TASKS:
+        return f"{len(graph)} tasks exceeds MAX_BATCH_TASKS"
+    return None
+
+
+def _node_leak_row(
+    node_index: int, devices: Sequence[SuperCapacitor]
+) -> List[float]:
+    """Per-capacitor ``leak_coeff * C`` products of one node's bank.
+
+    Split out (rather than inlined into the constants setup) so the
+    conformance suite can plant a deliberate corruption in a single
+    node's leakage row and prove the batched-vs-per-node oracle
+    pinpoints that node.
+    """
+    return [d.leak_coeff * d.capacitance for d in devices]
+
+
+def simulate_batch(cases: Sequence[BatchCase]) -> List[SimulationResult]:
+    """Simulate every case in one node-major batch; results in order.
+
+    Every case must be batch-eligible (see :func:`batch_ineligibility`)
+    and share one timeline; use :func:`simulate_cases` for transparent
+    per-node fallback.
+    """
+    cases = list(cases)
+    if not cases:
+        return []
+    for i, case in enumerate(cases):
+        reason = batch_ineligibility(
+            case.policy, case.graph, case.fault_injector
+        )
+        if reason is not None:
+            raise ValueError(f"case {i} is not batch-eligible: {reason}")
+    return _BatchEngine(cases).run()
+
+
+def simulate_cases(cases: Sequence[BatchCase]) -> List[SimulationResult]:
+    """Batch the eligible cases, per-node the rest; results in order."""
+    cases = list(cases)
+    eligible = [
+        i for i, c in enumerate(cases)
+        if batch_ineligibility(c.policy, c.graph, c.fault_injector) is None
+    ]
+    results: Dict[int, SimulationResult] = {}
+    if eligible:
+        for i, res in zip(
+            eligible, simulate_batch([cases[i] for i in eligible])
+        ):
+            results[i] = res
+    for i, case in enumerate(cases):
+        if i not in results:
+            results[i] = _simulate_per_node(case)
+    return [results[i] for i in range(len(cases))]
+
+
+def _simulate_per_node(case: BatchCase) -> SimulationResult:
+    """Per-node reference path for ineligible cases (and the oracle)."""
+    from ..node.node import SensorNode
+    from ..schedulers import (
+        DVFSLoadMatchingScheduler,
+        GreedyEDFScheduler,
+        InterTaskScheduler,
+        IntraTaskScheduler,
+        RandomScheduler,
+    )
+    from .engine import simulate
+
+    makers = {
+        "asap": lambda: GreedyEDFScheduler(),
+        "inter-task": lambda: InterTaskScheduler(),
+        "intra-task": lambda: IntraTaskScheduler(),
+        "dvfs": lambda: DVFSLoadMatchingScheduler(),
+        "random": lambda: RandomScheduler(case.scheduler_seed),
+    }
+    if case.policy not in makers:
+        raise ValueError(f"unknown batch policy {case.policy!r}")
+    node = SensorNode(
+        list(case.capacitors), num_nvps=case.graph.num_nvps
+    )
+    return simulate(
+        node,
+        case.graph,
+        case.trace,
+        makers[case.policy](),
+        strict=False,
+        fault_injector=case.fault_injector,
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class _BatchEngine:
+    """Node-major state and the vectorized slot update."""
+
+    def __init__(self, cases: List[BatchCase]) -> None:
+        self.cases = cases
+        tl = cases[0].trace.timeline
+        for i, case in enumerate(cases):
+            if case.trace.timeline != tl:
+                raise ValueError(
+                    f"case {i} timeline differs from case 0; a batch "
+                    "shares one timeline"
+                )
+        self.tl = tl
+        self.n = len(cases)
+        self._rows = np.arange(self.n)
+        self._setup_tasks()
+        self._setup_bank()
+        self._setup_policies()
+        # (n, total_periods, slots) solar powers, one gather per slot.
+        self._solar = np.stack(
+            [
+                case.trace.power.reshape(
+                    tl.total_periods, tl.slots_per_period
+                )
+                for case in cases
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _setup_tasks(self) -> None:
+        """Task-space constants and the priority-order permutation."""
+        tl, n = self.tl, self.n
+        graphs = [case.graph for case in self.cases]
+        self.graphs = graphs
+        self.t_ns = [len(g) for g in graphs]
+        t_max = max(self.t_ns)
+        self.t_max = t_max
+        self.valid = np.zeros((n, t_max), dtype=bool)
+        self.exec0 = np.zeros((n, t_max))
+        powers = np.zeros((n, t_max))
+        dls = np.full((n, t_max), -1, dtype=np.int64)
+        nvp = np.zeros((n, t_max), dtype=np.int64)
+        pred = np.zeros((n, t_max, t_max), dtype=bool)
+        desc = np.zeros((n, t_max, t_max), dtype=bool)
+        perm = np.zeros((n, t_max), dtype=np.int64)
+        self.powers_list: List[List[float]] = []
+        for row, g in enumerate(graphs):
+            t_n = self.t_ns[row]
+            self.valid[row, :t_n] = True
+            self.exec0[row, :t_n] = [t.execution_time for t in g.tasks]
+            task_powers = [t.power for t in g.tasks]
+            self.powers_list.append(task_powers)
+            powers[row, :t_n] = task_powers
+            row_dls = [tl.deadline_slot(t.deadline) for t in g.tasks]
+            dls[row, :t_n] = row_dls
+            for i in range(t_n):
+                nvp[row, i] = g.nvp_of(i)
+                for p in g.predecessors(i):
+                    pred[row, i, p] = True
+                for d in g.descendants(i):
+                    desc[row, i, d] = True
+            order = sorted(range(t_n), key=lambda i: (row_dls[i], i))
+            perm[row, :t_n] = order
+            perm[row, t_n:] = np.arange(t_n, t_max)
+        self.powers = powers
+        self.dls = dls
+        self.nvp = nvp
+        self.pred = pred
+        self.desc = desc
+        self.perm = perm
+        # Static priority-position views of the per-task constants.
+        self.powers_pos = np.take_along_axis(powers, perm, axis=1)
+        self.dls_pos = np.take_along_axis(dls, perm, axis=1)
+        self.nvp_pos = np.take_along_axis(nvp, perm, axis=1)
+        self._pos_range = np.arange(t_max)
+        # Fancy-index pair equivalent to take/put_along_axis(perm) but
+        # without rebuilding the index tuple every slot.
+        self._gather_rows = self._rows[:, None]
+        self.k_max = max(g.num_nvps for g in graphs)
+        # cycle_cost accumulates 3e-6 per transitioned NVP by repeated
+        # addition in the scalar engine; precompute that prefix sum the
+        # same way so k transitions index the identical float.
+        costs = [0.0]
+        for _ in range(self.k_max):
+            costs.append(costs[-1] + 3.0e-6)
+        self._cycle_table = np.array(costs)
+
+    def _setup_bank(self) -> None:
+        """Bank constants, padded column-wise; active column is static.
+
+        Baseline policies pin the largest capacitor at the first period
+        and never switch (``StaticLargestCapacitorMixin``); the random
+        policy never selects at all.  Either way the active index is a
+        per-node constant, so charge/discharge touch one static column.
+        """
+        n = self.n
+        banks = [list(case.capacitors) for case in self.cases]
+        self.c_ns = [len(b) for b in banks]
+        c_max = max(self.c_ns)
+        self.c_max = c_max
+        self.cap_valid = np.zeros((n, c_max), dtype=bool)
+        # Padded columns get capacitance 1 / zero volts / zero leak:
+        # their leak update is exactly 0 -> 0 and costs nothing.
+        self.capacitance = np.ones((n, c_max))
+        self.v0 = np.zeros((n, c_max))
+        self.leak_coeff_cap = np.zeros((n, c_max))
+        self.parasitic = np.zeros((n, c_max))
+        self.full_energy = np.ones((n, c_max))
+        self.exps_flat: List[float] = []
+        active = np.zeros(n, dtype=np.int64)
+        for row, devices in enumerate(banks):
+            c_n = self.c_ns[row]
+            self.cap_valid[row, :c_n] = True
+            self.capacitance[row, :c_n] = [d.capacitance for d in devices]
+            self.v0[row, :c_n] = [d.v_cutoff for d in devices]
+            self.leak_coeff_cap[row, :c_n] = _node_leak_row(row, devices)
+            self.parasitic[row, :c_n] = [
+                d.parasitic_power for d in devices
+            ]
+            self.full_energy[row, :c_n] = [
+                0.5 * d.capacitance * d.v_full * d.v_full for d in devices
+            ]
+            self.exps_flat.extend(d.leak_exponent for d in devices)
+            self.exps_flat.extend(1.0 for _ in range(c_max - c_n))
+            if self.cases[row].policy != "random":
+                caps = np.array([d.capacitance for d in devices])
+                active[row] = int(caps.argmax())
+        self.active_col = active
+        rows = self._rows
+        devs = [banks[i][active[i]] for i in range(n)]
+        self.c_a = self.capacitance[rows, active]
+        self.e_full_a = self.full_energy[rows, active]
+        self.e_cutoff_a = np.array(
+            [0.5 * d.capacitance * d.v_cutoff * d.v_cutoff for d in devs]
+        )
+        self.v_stop_chg = np.array([d.v_full - 1e-12 for d in devs])
+        self.v_stop_dis = np.array([d.v_cutoff + 1e-12 for d in devs])
+        self.cyc_a = np.array([d.cycle_efficiency for d in devs])
+        self.in_eta_a = np.array(
+            [d.input_regulator.eta_max for d in devs]
+        )
+        self.in_exp_a = np.array(
+            [d.input_regulator.exponent for d in devs]
+        )
+        self.in_vh_a = np.array(
+            [d.input_regulator._vhalf_pow for d in devs]
+        )
+        self.out_eta_a = np.array(
+            [d.output_regulator.eta_max for d in devs]
+        )
+        self.out_exp_a = np.array(
+            [d.output_regulator.exponent for d in devs]
+        )
+        self.out_vh_a = np.array(
+            [d.output_regulator._vhalf_pow for d in devs]
+        )
+
+    def _setup_policies(self) -> None:
+        """Policy row groups plus the intra-task subset table."""
+        policies = [case.policy for case in self.cases]
+        self.is_asap = np.array([p == "asap" for p in policies])
+        self.is_lsa = np.array([p == "inter-task" for p in policies])
+        self.is_intra = np.array([p == "intra-task" for p in policies])
+        self.idx_lsa = np.flatnonzero(self.is_lsa)
+        self.idx_intra = np.flatnonzero(self.is_intra)
+        self.idx_random = np.flatnonzero(
+            np.array([p == "random" for p in policies])
+        )
+        # One persistent generator per random node: the stream carries
+        # across slots and periods exactly like RandomScheduler's.
+        # (row, bound rng.random, nvp list, power list) tuples keep the
+        # per-slot Python loop free of attribute lookups.
+        self.random_rows = [
+            (
+                int(i),
+                np.random.default_rng(
+                    self.cases[i].scheduler_seed
+                ).random,
+                self.nvp[i].tolist(),
+                self.powers_list[i],
+            )
+            for i in self.idx_random
+        ]
+        # Intra-task rows enumerate nonempty position subsets the way
+        # best_power_match does: sizes ascending, lexicographic within
+        # a size.  Restricting the table to the current optional set
+        # (bitmask inclusion) visits the same combinations in the same
+        # order, because relabeling optional positions is monotone.
+        if self.idx_intra.size:
+            t_intra = max(self.t_ns[i] for i in self.idx_intra)
+            combos = [
+                combo
+                for r in range(1, t_intra + 1)
+                for combo in combinations(range(t_intra), r)
+            ]
+            self.combo_bits = np.array(
+                [sum(1 << p for p in combo) for combo in combos],
+                dtype=np.int64,
+            )
+            # Power sums are static per node: accumulate each combo in
+            # ascending position order like the scalar sum(...) does.
+            pos = self.powers_pos[self.idx_intra]
+            sums = np.zeros((self.idx_intra.size, len(combos)))
+            for j, combo in enumerate(combos):
+                acc = pos[:, combo[0]].copy()
+                for p in combo[1:]:
+                    acc = acc + pos[:, p]
+                sums[:, j] = acc
+            self.combo_sums = sums
+            self.intra_rows = np.arange(self.idx_intra.size)
+        self.predictors = {
+            int(i): WCMAPredictor(self.tl) for i in self.idx_lsa
+        }
+
+    # ------------------------------------------------------------------
+    # Masked bank physics (active column only)
+    # ------------------------------------------------------------------
+    def _charge(
+        self, v: np.ndarray, mask: np.ndarray, energy_in: np.ndarray
+    ) -> np.ndarray:
+        """Masked CapacitorState.charge on the active column of ``v``.
+
+        Returns the stored energy per node (0 outside ``mask``).
+        """
+        rows, a = self._rows, self.active_col
+        c = self.c_a
+        v_col = v[rows, a]
+        energy = 0.5 * c * v_col * v_col
+        stored_total = np.zeros(self.n)
+        chunk = energy_in / 4
+        for _ in range(4):
+            alive = mask & (v_col < self.v_stop_chg)
+            if not alive.any():
+                break
+            vp = v_col ** self.in_exp_a
+            eta = (self.in_eta_a * vp / (vp + self.in_vh_a)) * self.cyc_a
+            headroom = np.maximum(self.e_full_a - energy, 0.0)
+            stored = np.minimum(chunk * eta, headroom)
+            new_energy = np.minimum(
+                np.maximum(energy + stored, 0.0), self.e_full_a
+            )
+            v_new = np.sqrt(2.0 * new_energy / c)
+            e_new = 0.5 * c * v_new * v_new
+            v_col = np.where(alive, v_new, v_col)
+            energy = np.where(alive, e_new, energy)
+            stored_total = np.where(
+                alive, stored_total + stored, stored_total
+            )
+        v[rows, a] = v_col
+        return stored_total
+
+    def _discharge(
+        self, v: np.ndarray, mask: np.ndarray, energy_needed: np.ndarray
+    ) -> np.ndarray:
+        """Masked CapacitorState.discharge on the active column.
+
+        Returns the delivered energy per node (0 outside ``mask``).
+        A row that hits the cut-off stops updating for the remaining
+        substeps — the masked equivalent of the scalar ``break``.
+        """
+        rows, a = self._rows, self.active_col
+        c = self.c_a
+        v_col = v[rows, a]
+        energy = 0.5 * c * v_col * v_col
+        delivered_total = np.zeros(self.n)
+        chunk = energy_needed / 4
+        for _ in range(4):
+            alive = mask & (v_col > self.v_stop_dis)
+            if not alive.any():
+                break
+            vp = v_col ** self.out_exp_a
+            eta = (self.out_eta_a * vp / (vp + self.out_vh_a)) * self.cyc_a
+            alive = alive & (eta > 0.0)
+            usable = np.maximum(energy - self.e_cutoff_a, 0.0)
+            drawn = np.minimum(
+                chunk / np.where(eta > 0.0, eta, 1.0), usable
+            )
+            delivered = drawn * eta
+            new_energy = np.minimum(
+                np.maximum(energy - drawn, 0.0), self.e_full_a
+            )
+            v_new = np.sqrt(2.0 * new_energy / c)
+            e_new = 0.5 * c * v_new * v_new
+            v_col = np.where(alive, v_new, v_col)
+            energy = np.where(alive, e_new, energy)
+            delivered_total = np.where(
+                alive, delivered_total + delivered, delivered_total
+            )
+        v[rows, a] = v_col
+        return delivered_total
+
+    def _leak(self, v: np.ndarray, dt: float) -> np.ndarray:
+        """CapacitorBank.leak_all over every row; returns lost energy.
+
+        The voltage power term stays per-element Python ``**`` (same
+        reason as leak_all); everything else is the identical
+        elementwise expression.  Padded columns hold 0 V / zero leak
+        constants, so their contribution is exactly ``+0.0`` and the
+        per-column accumulation matches the scalar per-capacitor sum.
+        """
+        rows, a = self._rows, self.active_col
+        volts = v.ravel().tolist()
+        powv = np.array(
+            [vv ** e for vv, e in zip(volts, self.exps_flat)]
+        ).reshape(v.shape)
+        leak_power = self.leak_coeff_cap * powv + self.parasitic
+        before = 0.5 * self.capacitance * v * v
+        idle_power = np.maximum(leak_power - self.parasitic, 0.0)
+        new_energy = np.maximum(before - idle_power * dt, 0.0)
+        e_a = before[rows, a] - leak_power[rows, a] * dt
+        e_a = np.minimum(np.maximum(e_a, 0.0), self.e_full_a)
+        new_energy[rows, a] = e_a
+        new_volts = np.sqrt(2.0 * new_energy / self.capacitance)
+        after = 0.5 * self.capacitance * new_volts * new_volts
+        diffs = before - after
+        v[:] = new_volts
+        lost = np.zeros(self.n)
+        for col in range(self.c_max):
+            lost = lost + diffs[:, col]
+        return lost
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SimulationResult]:
+        tl = self.tl
+        n, t_max, k_max = self.n, self.t_max, self.k_max
+        rows = self._rows
+        dt = tl.slot_seconds
+        slots = tl.slots_per_period
+        perm = self.perm
+        powers_pos = self.powers_pos
+        nvp_pos = self.nvp_pos
+        has_lsa = self.idx_lsa.size > 0
+        has_intra = self.idx_intra.size > 0
+        has_random = self.idx_random.size > 0
+
+        v = self.v0.copy()
+        powered = np.ones((n, k_max), dtype=bool)
+        # Admission filter: everything admitted except what the LSA
+        # rows restrict per period (cold-start admits the full set).
+        admitted = np.ones((n, t_max), dtype=bool)
+        records: List[List[PeriodRecord]] = [[] for _ in range(n)]
+
+        for flat_p in range(tl.total_periods):
+            day, period = tl.unflatten_period(flat_p)
+            if has_lsa and flat_p > 0:
+                self._admit_lsa(day, period, v, admitted)
+            v_snapshot = v.copy()
+            remaining = self.exec0.copy()
+            missed = np.zeros((n, t_max), dtype=bool)
+            started = np.zeros((n, t_max), dtype=bool)
+            solar_e = np.zeros(n)
+            load_e = np.zeros(n)
+            direct_e = np.zeros(n)
+            storage_e = np.zeros(n)
+            charged_e = np.zeros(n)
+            offered_e = np.zeros(n)
+            leak_e = np.zeros(n)
+            brownouts = np.zeros(n, dtype=np.int64)
+            solar_period = self._solar[:, flat_p, :]
+
+            for slot in range(slots):
+                # Deadline check at slot start, with the dependence
+                # cascade (descendants of an incomplete missed task).
+                done = remaining <= COMPLETION_EPS
+                newly = (self.dls == slot) & ~missed & ~done
+                if newly.any():
+                    cascade = (
+                        (newly[:, :, None] & self.desc).any(axis=1)
+                        & ~missed & ~done
+                    )
+                    missed |= newly | cascade
+                blocked = (self.pred & ~done[:, None, :]).any(axis=2)
+                ready = (
+                    self.valid & ~done & ~missed
+                    & (slot < self.dls) & ~blocked
+                )
+                solar_vec = solar_period[:, slot]
+
+                # Priority-position gathers + slack (must-run) test.
+                gr = self._gather_rows
+                ready_pos = ready[gr, perm]
+                rem_pos = remaining[gr, perm]
+                work_slots = -np.floor_divide(-rem_pos, dt)
+                must = (self.dls_pos - slot) - work_slots <= 0.0
+
+                # First-claim-wins NVP filter in priority order, fused
+                # with the sequential load sums every policy reuses:
+                # ``total_load`` adds the whole claimed queue position
+                # by position — exactly the scalar ``sum(...)`` order —
+                # and ``mand_load`` its must-run subsequence.
+                cand = (
+                    ready_pos & admitted[gr, perm]
+                    if has_lsa
+                    else ready_pos
+                )
+                claimed = np.zeros((n, k_max), dtype=bool)
+                per_nvp = np.zeros((n, t_max), dtype=bool)
+                total_load = np.zeros(n)
+                mand_load = np.zeros(n)
+                for p in range(t_max):
+                    k = nvp_pos[:, p]
+                    cur = claimed[rows, k]
+                    sel = cand[:, p] & ~cur
+                    claimed[rows, k] = cur | sel
+                    per_nvp[:, p] = sel
+                    col_power = np.where(sel, powers_pos[:, p], 0.0)
+                    total_load = total_load + col_power
+                    mand_load = mand_load + np.where(
+                        must[:, p], col_power, 0.0
+                    )
+
+                # Policy decisions (position space).  The sequential
+                # sums above equal the scalar engine's load for every
+                # single-segment decision (asap queue, LSA queue or
+                # mandatory subset); intra-task rows extend mand_load
+                # with their picked positions, in order, below.
+                chosen_pos = per_nvp & self.is_asap[:, None]
+                load = np.where(self.is_asap, total_load, 0.0)
+                if has_lsa:
+                    mand = per_nvp & must
+                    run_all = total_load <= solar_vec + 1e-12
+                    lsa_choice = np.where(
+                        run_all[:, None], per_nvp, mand
+                    )
+                    chosen_pos |= lsa_choice & self.is_lsa[:, None]
+                    load = np.where(
+                        self.is_lsa,
+                        np.where(run_all, total_load, mand_load),
+                        load,
+                    )
+                if has_intra:
+                    budget = np.maximum(solar_vec - mand_load, 0.0)
+                    optional = per_nvp & ~must
+                    opt_bits = np.zeros(n, dtype=np.int64)
+                    for p in range(t_max):
+                        opt_bits = opt_bits | np.where(
+                            optional[:, p], np.int64(1 << p), np.int64(0)
+                        )
+                    ob = opt_bits[self.idx_intra]
+                    affordable = self.combo_sums <= (
+                        (budget[self.idx_intra] + 1e-12)[:, None]
+                    )
+                    available = (
+                        self.combo_bits[None, :] & ~ob[:, None]
+                    ) == 0
+                    vals = np.where(
+                        available & affordable, self.combo_sums, -1.0
+                    )
+                    best = vals.argmax(axis=1)
+                    best_val = vals[self.intra_rows, best]
+                    picked_bits = np.where(
+                        best_val > 0.0, self.combo_bits[best], 0
+                    )
+                    picked = np.zeros((n, t_max), dtype=bool)
+                    picked[self.idx_intra] = (
+                        (picked_bits[:, None] >> self._pos_range) & 1
+                    ).astype(bool)
+                    intra_load = mand_load
+                    for p in range(t_max):
+                        intra_load = intra_load + np.where(
+                            picked[:, p], powers_pos[:, p], 0.0
+                        )
+                    chosen_pos |= (
+                        ((per_nvp & must) | picked)
+                        & self.is_intra[:, None]
+                    )
+                    load = np.where(self.is_intra, intra_load, load)
+                chosen = np.zeros((n, t_max), dtype=bool)
+                chosen[gr, perm] = chosen_pos
+
+                if has_random:
+                    self._decide_random(ready, chosen, load)
+
+                # PMU routing: the three supply_slot branches as masks.
+                usable_solar = solar_vec * 0.98
+                b1 = load <= 0.0
+                b2 = ~b1 & (usable_solar >= load)
+                b3 = ~(b1 | b2)
+                needed = (load - usable_solar) * dt
+                delivered = self._discharge(v, b3, needed)
+                fraction = np.minimum(
+                    delivered / np.where(b3, needed, 1.0), 1.0
+                )
+                run_fraction = np.where(b3, fraction, 1.0)
+                offered_idle = usable_solar * ((1.0 - fraction) * dt)
+                energy_in = np.where(
+                    b1,
+                    usable_solar * dt,
+                    np.where(
+                        b2, (usable_solar - load) * dt, offered_idle
+                    ),
+                )
+                # Branches 1/2 always charge (even zero input: the
+                # below-v_stop sqrt round-trip must still happen);
+                # branch 3 charges only when idle surplus is positive.
+                do_charge = b1 | b2 | (b3 & (offered_idle > 0.0))
+                charged = self._charge(v, do_charge, energy_in)
+                direct = np.where(
+                    b1,
+                    0.0,
+                    np.where(
+                        b2, load * dt, usable_solar * fraction * dt
+                    ),
+                )
+                storage = np.where(b3, delivered, 0.0)
+
+                # Task progress (chosen tasks are never missed).
+                progressed = run_fraction * dt
+                remaining = np.where(
+                    chosen,
+                    np.maximum(remaining - progressed[:, None], 0.0),
+                    remaining,
+                )
+                started |= chosen
+
+                # NVP nonvolatility bookkeeping.
+                chosen_any = chosen.any(axis=1)
+                brown = (run_fraction < 1.0 - 1e-9) & chosen_any
+                active_nvp = np.zeros((n, k_max), dtype=bool)
+                for t in range(t_max):
+                    col = chosen[:, t]
+                    active_nvp[col, self.nvp[col, t]] = True
+                n_changed = np.where(
+                    brown,
+                    (active_nvp & powered).sum(axis=1),
+                    (active_nvp & ~powered).sum(axis=1),
+                )
+                powered = np.where(
+                    brown[:, None],
+                    powered & ~active_nvp,
+                    powered | active_nvp,
+                )
+                cycle_cost = self._cycle_table[n_changed]
+                cmask = cycle_cost > 0.0
+                if cmask.any():
+                    self._discharge(v, cmask, cycle_cost)
+                brownouts += brown
+
+                lost = self._leak(v, dt)
+
+                solar_e = solar_e + solar_vec * dt
+                load_e = load_e + (direct + storage)
+                direct_e = direct_e + direct
+                storage_e = storage_e + storage
+                charged_e = charged_e + charged
+                offered_e = offered_e + energy_in
+                leak_e = leak_e + lost
+
+            # End of period: boundary deadline check + final sweep both
+            # collapse to "every incomplete valid task is missed".
+            missed |= self.valid & ~(remaining <= COMPLETION_EPS)
+            miss_count = missed.sum(axis=1)
+            for row in range(n):
+                t_n = self.t_ns[row]
+                records[row].append(
+                    PeriodRecord(
+                        day=day,
+                        period=period,
+                        dmr=int(miss_count[row]) / t_n,
+                        miss_count=int(miss_count[row]),
+                        executed=started[row, :t_n].copy(),
+                        solar_energy=float(solar_e[row]),
+                        load_energy=float(load_e[row]),
+                        direct_energy=float(direct_e[row]),
+                        storage_energy=float(storage_e[row]),
+                        charged_energy=float(charged_e[row]),
+                        offered_surplus=float(offered_e[row]),
+                        leakage_energy=float(leak_e[row]),
+                        brownout_slots=int(brownouts[row]),
+                        start_voltages=v_snapshot[
+                            row, : self.c_ns[row]
+                        ].copy(),
+                        active_index=int(self.active_col[row]),
+                    )
+                )
+            for i in self.idx_lsa:
+                self.predictors[int(i)].observe(
+                    day, period, float(solar_e[i])
+                )
+
+        return [
+            SimulationResult(
+                tl,
+                _SCHEDULER_NAMES[self.cases[row].policy],
+                records[row],
+            )
+            for row in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    def _admit_lsa(
+        self, day: int, period: int, v: np.ndarray, admitted: np.ndarray
+    ) -> None:
+        """Per-period WCMA admission for the inter-task rows.
+
+        Cheap per-node Python (once per period, not per slot) so the
+        real predictor and admission code run unchanged — their float
+        sequences are part of the bit-identity contract.
+        """
+        rows, a = self._rows, self.active_col
+        v_a = v[rows, a]
+        stored_a = 0.5 * self.c_a * v_a * v_a
+        usable_a = np.maximum(stored_a - self.e_cutoff_a, 0.0)
+        for i in self.idx_lsa:
+            i = int(i)
+            predicted = self.predictors[i].predict(day, period)
+            budget = predicted + 0.7 * float(usable_a[i])
+            adm = admit_by_energy(self.graphs[i], budget, margin=1.0)
+            # A new period replaces the previous admission set; padded
+            # positions stay admitted (they are never ready anyway).
+            row_adm = np.zeros(self.t_max, dtype=bool)
+            for t in adm:
+                row_adm[t] = True
+            row_adm[self.t_ns[i]:] = True
+            admitted[i] = row_adm
+
+    def _decide_random(
+        self, ready: np.ndarray, chosen: np.ndarray, load: np.ndarray
+    ) -> None:
+        """Per-node random draws, preserving each node's RNG stream.
+
+        RandomScheduler draws once per ready task (ascending task
+        order, *before* the NVP-availability check), so the consumed
+        stream depends only on the ready set — replayed verbatim here.
+        """
+        ready_rows = ready[self.idx_random].tolist()
+        for (i, draw, nvps, powers), ready_row in zip(
+            self.random_rows, ready_rows
+        ):
+            chosen_tasks: List[int] = []
+            used = 0
+            for t, is_ready in enumerate(ready_row):
+                if is_ready and draw() < 0.5:
+                    k = nvps[t]
+                    if not used >> k & 1:
+                        used |= 1 << k
+                        chosen_tasks.append(t)
+            if chosen_tasks:
+                chosen[i, chosen_tasks] = True
+                load[i] = float(sum(powers[t] for t in chosen_tasks))

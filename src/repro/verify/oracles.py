@@ -1,6 +1,6 @@
 """Differential oracles: two independent routes to the same answer.
 
-Four oracles, each pitting the production implementation against a
+Five oracles, each pitting the production implementation against a
 slower but obviously-correct reference:
 
 ``scalar-vs-vectorized``
@@ -22,6 +22,11 @@ slower but obviously-correct reference:
 ``checkpoint-resume``
     A run interrupted at a period boundary and resumed must be
     bit-identical to the uninterrupted run (meta-level NVP semantics).
+``batch-vs-per-node``
+    A heterogeneous fleet shard through the node-major batched engine
+    (:mod:`repro.sim.batch`) and through one scalar engine per node;
+    every :class:`~repro.fleet.result.NodeSummary` — fingerprint
+    included — must match bit for bit.
 
 The module also owns the *reference fingerprint* capture: the 4
 canonical solar days and 7 seeded runtime fault scenarios whose result
@@ -74,6 +79,7 @@ __all__ = [
     "brute_force_best_dmr",
     "oracle_plan_vs_bruteforce",
     "oracle_checkpoint_resume",
+    "oracle_batch_vs_per_node",
     "reference_run_specs",
     "capture_reference_fingerprints",
     "write_reference_fingerprints",
@@ -549,6 +555,67 @@ def oracle_reference_fingerprints(
                     "regenerate with `repro verify --update-fingerprints`"
                 ),
                 details={"expected": expected, "got": fingerprint},
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched node-major engine vs per-node scalar engine
+# ----------------------------------------------------------------------
+def oracle_batch_vs_per_node(
+    n_nodes: int = 8,
+    seed: int = 0,
+    label: str = "",
+) -> CheckOutcome:
+    """One fleet shard through both executors; demand bit-identity.
+
+    Simulates ``n_nodes`` heterogeneous fleet nodes (mixed policies,
+    bank sizes, panel scales — the standard ``fleet_variations``
+    population of the seed) once through the node-major batched engine
+    (:func:`~repro.fleet.runner.simulate_shard_batch`) and once
+    through the scalar per-node engine, then compares the complete
+    :class:`~repro.fleet.result.NodeSummary` of every node — the
+    fingerprint and each derived metric.  Any mismatch is reported as
+    one Violation per offending node, naming its index and config.
+    """
+    from ..fleet.runner import simulate_node, simulate_shard_batch
+    from ..fleet.spec import FleetSpec
+
+    out = CheckOutcome(name="oracle/batch-vs-per-node", subject=label)
+    fleet = FleetSpec(n_nodes=n_nodes, seed=seed)
+    base = fleet.base_trace()
+    specs = [fleet.node_spec(i) for i in range(n_nodes)]
+    batched = simulate_shard_batch(fleet, base, specs)
+    out.checked = n_nodes
+    for spec, got in zip(specs, batched):
+        want = simulate_node(fleet, base, spec)
+        if got == want:
+            continue
+        fields = [
+            f for f in want.__dataclass_fields__
+            if getattr(got, f) != getattr(want, f)
+        ]
+        out.violations.append(
+            Violation(
+                check=out.name,
+                message=(
+                    f"batched engine diverged from per-node engine "
+                    f"on node {spec.node_id}"
+                ),
+                details={
+                    "node_id": spec.node_id,
+                    "policy": spec.policy,
+                    "graph_kind": spec.graph_kind,
+                    "bank_farads": list(spec.bank_farads),
+                    "differing_fields": fields,
+                    "batched": {
+                        f: getattr(got, f) for f in fields
+                    },
+                    "per_node": {
+                        f: getattr(want, f) for f in fields
+                    },
+                },
             )
         )
     return out

@@ -44,6 +44,7 @@ from .metamorphic import (
 from .oracles import (
     BRUTEFORCE_INSTANCES,
     load_reference_fingerprints,
+    oracle_batch_vs_per_node,
     oracle_checkpoint_resume,
     oracle_lut_vs_scan,
     oracle_plan_vs_bruteforce,
@@ -230,6 +231,15 @@ def run_verification(
             report.add(
                 oracle_checkpoint_resume(
                     graph, trace, GreedyEDFScheduler, label="tiny/greedy-edf"
+                )
+            )
+
+            log("oracle: batched engine vs per-node engine")
+            fleet_nodes = 4 if level == "smoke" else 16
+            report.add(
+                oracle_batch_vs_per_node(
+                    n_nodes=fleet_nodes, seed=0,
+                    label=f"fleet-{fleet_nodes}",
                 )
             )
 

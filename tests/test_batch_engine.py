@@ -1,0 +1,381 @@
+"""Conformance wall for the batched node-major engine (`repro.sim.batch`).
+
+The batched engine's contract is *bit-identity* with the per-node
+scalar engine — not statistical agreement.  This suite pins it:
+
+- differential conformance over the 4 canonical solar days, all 7
+  runtime fault scenarios (via the dispatcher's per-node fallback) and
+  heterogeneous ``fleet_variations`` populations;
+- degenerate batch shapes: a single node, a shard of identical nodes,
+  a shard where every node differs;
+- hypothesis properties: batch-split invariance, node-order
+  permutation invariance, per-row physics invariants on batched state;
+- "teeth": a deliberately corrupted leakage row must surface as a
+  structured Violation naming exactly the offending node.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DEFAULT_BANK_FARADS, quick_node
+from repro.energy.capacitor import SuperCapacitor
+from repro.fleet import FleetRunner, FleetSpec, simulate_node, simulate_shard_batch
+from repro.reliability import RUNTIME_SCENARIOS, FaultInjector, runtime_scenario
+from repro.schedulers import GreedyEDFScheduler, IntraTaskScheduler
+from repro.sim import result_fingerprint
+from repro.sim.batch import (
+    BATCH_POLICIES,
+    MAX_BATCH_TASKS,
+    BatchCase,
+    batch_ineligibility,
+    simulate_batch,
+    simulate_cases,
+)
+from repro.sim.engine import simulate
+from repro.solar import four_day_trace, synthetic_trace
+from repro.tasks import Task, TaskGraph, paper_benchmarks
+from repro.timeline import Timeline
+from repro.verify.oracles import oracle_batch_vs_per_node
+from repro.verify.strategies import build_graph, fleet_variations, random_trace, tiny_timeline
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def _default_bank():
+    return tuple(
+        SuperCapacitor(capacitance=c) for c in DEFAULT_BANK_FARADS
+    )
+
+
+def _case_from_variation(var, trace):
+    return BatchCase(
+        graph=build_graph(var["graph_kind"]),
+        trace=trace,
+        capacitors=tuple(
+            SuperCapacitor(capacitance=c) for c in var["bank_farads"]
+        ),
+        policy=var["policy"],
+        scheduler_seed=var["scheduler_seed"],
+    )
+
+
+def _per_node_reference(case):
+    """The scalar engine run the batched result must match bit-for-bit."""
+    from repro.sim.batch import _simulate_per_node
+
+    return _simulate_per_node(
+        dataclasses.replace(case)
+    )
+
+
+def _assert_identical(batched, reference, label=""):
+    got = result_fingerprint(batched)
+    want = result_fingerprint(reference)
+    assert got == want, f"{label}: batched engine diverged from per-node"
+
+
+# ----------------------------------------------------------------------
+# Differential conformance: canonical days, fault scenarios, fleets
+# ----------------------------------------------------------------------
+class TestCanonicalConformance:
+    def test_four_canonical_days_bit_identical(self):
+        """All 4 canonical days, batched as one shard, vs per-node."""
+        graph = paper_benchmarks()["WAM"]
+        tl = Timeline(4, 144, 20, 30.0)
+        four = four_day_trace(tl)
+        cases = [
+            BatchCase(
+                graph=graph,
+                trace=four.day_slice(day),
+                capacitors=_default_bank(),
+                policy="intra-task",
+            )
+            for day in range(4)
+        ]
+        results = simulate_batch(cases)
+        for day, batched in enumerate(results):
+            reference = simulate(
+                quick_node(graph), graph, four.day_slice(day),
+                IntraTaskScheduler(), strict=False,
+            )
+            _assert_identical(batched, reference, f"canonical-day{day + 1}")
+
+    def test_all_fault_scenarios_via_dispatcher(self):
+        """Fault cases route per-node; the dispatcher must not disturb
+        them and must interleave them correctly with batched cases."""
+        graph = paper_benchmarks()["WAM"]
+        tl = Timeline(1, 24, 20, 30.0)
+        trace = synthetic_trace(tl, seed=3)
+        cases = []
+        for scenario in sorted(RUNTIME_SCENARIOS):
+            cases.append(
+                BatchCase(
+                    graph=graph,
+                    trace=trace,
+                    capacitors=_default_bank(),
+                    policy="asap",
+                    fault_injector=FaultInjector(
+                        runtime_scenario(scenario, tl, seed=0), tl
+                    ),
+                )
+            )
+            # Interleave an eligible case so batched/per-node results
+            # must reassemble in input order.
+            cases.append(
+                BatchCase(
+                    graph=graph, trace=trace,
+                    capacitors=_default_bank(), policy="asap",
+                )
+            )
+        results = simulate_cases(cases)
+        assert len(results) == len(cases)
+        for scenario, batched in zip(sorted(RUNTIME_SCENARIOS), results[::2]):
+            reference = simulate(
+                quick_node(graph), graph, trace, GreedyEDFScheduler(),
+                strict=False,
+                fault_injector=FaultInjector(
+                    runtime_scenario(scenario, tl, seed=0), tl
+                ),
+            )
+            _assert_identical(batched, reference, f"fault-{scenario}")
+        clean = simulate(
+            quick_node(graph), graph, trace, GreedyEDFScheduler(),
+            strict=False,
+        )
+        for batched in results[1::2]:
+            _assert_identical(batched, clean, "interleaved-clean")
+
+    def test_heterogeneous_fleet_population(self):
+        """Mixed policies, banks, panel scales: the fleet shard adapter
+        equals a simulate_node map, summary for summary."""
+        fleet = FleetSpec(n_nodes=12, seed=5)
+        base = fleet.base_trace()
+        specs = [fleet.node_spec(i) for i in range(fleet.n_nodes)]
+        batched = simulate_shard_batch(fleet, base, specs)
+        for spec, got in zip(specs, batched):
+            assert got == simulate_node(fleet, base, spec), (
+                f"node {spec.node_id} ({spec.policy}/{spec.graph_kind})"
+            )
+
+
+class TestDegenerateShapes:
+    def _clean_case(self, seed=0, policy="asap"):
+        tl = tiny_timeline()
+        return BatchCase(
+            graph=paper_benchmarks()["ECG"],
+            trace=synthetic_trace(tl, seed=seed),
+            capacitors=_default_bank(),
+            policy=policy,
+        )
+
+    def test_single_node_batch(self):
+        case = self._clean_case()
+        (batched,) = simulate_batch([case])
+        _assert_identical(batched, _per_node_reference(case), "n=1")
+
+    def test_identical_shard(self):
+        case = self._clean_case(policy="intra-task")
+        results = simulate_batch([case, case, case])
+        reference = _per_node_reference(case)
+        fps = {result_fingerprint(r) for r in results}
+        assert fps == {result_fingerprint(reference)}
+
+    def test_all_different_shard(self):
+        tl = tiny_timeline()
+        cases = [
+            BatchCase(
+                graph=build_graph(kind),
+                trace=synthetic_trace(tl, seed=i),
+                capacitors=tuple(
+                    SuperCapacitor(capacitance=c) for c in farads
+                ),
+                policy=policy,
+                scheduler_seed=i,
+            )
+            for i, (kind, policy, farads) in enumerate(
+                [
+                    ("wam", "asap", (1.0, 47.0)),
+                    ("ecg", "inter-task", (4.7,)),
+                    ("shm", "intra-task", (2.0, 10.0, 47.0)),
+                    ("random:11", "random", (0.5, 1.0)),
+                ]
+            )
+        ]
+        for case, batched in zip(cases, simulate_batch(cases)):
+            _assert_identical(
+                batched, _per_node_reference(case), case.policy
+            )
+
+    def test_empty_batch(self):
+        assert simulate_batch([]) == []
+
+    def test_ineligible_case_raises(self):
+        case = self._clean_case()
+        case.policy = "dvfs"
+        with pytest.raises(ValueError, match="not batch-eligible"):
+            simulate_batch([case])
+
+
+class TestEligibility:
+    def test_reasons(self):
+        graph = paper_benchmarks()["WAM"]
+        assert batch_ineligibility("asap", graph) is None
+        assert "not batched" in batch_ineligibility("dvfs", graph)
+        assert "not batched" in batch_ineligibility("proposed", graph)
+        assert "per-node" in batch_ineligibility(
+            "asap", graph, fault_injector=object()
+        )
+        wide = TaskGraph(
+            [
+                Task(f"t{i}", 60.0, 600.0, 0.01, nvp=0)
+                for i in range(MAX_BATCH_TASKS + 1)
+            ]
+        )
+        assert "MAX_BATCH_TASKS" in batch_ineligibility("asap", wide)
+        assert set(BATCH_POLICIES) == {
+            "asap", "inter-task", "intra-task", "random"
+        }
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+def _tiny_cases(seed, n_nodes):
+    """n heterogeneous eligible cases sharing one tiny timeline."""
+    tl = tiny_timeline(periods_per_day=3)
+    variations = fleet_variations(
+        seed, n_nodes, policies=BATCH_POLICIES
+    )
+    return [
+        _case_from_variation(var, random_trace(tl, seed + i))
+        for i, var in enumerate(variations)
+    ]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(0, 10_000), st.integers(2, 5), st.data())
+def test_batch_split_invariance(seed, n_nodes, data):
+    """Running {A,B,C} as one batch equals {A}+{B,C} merged."""
+    cases = _tiny_cases(seed, n_nodes)
+    cut = data.draw(st.integers(1, n_nodes - 1))
+    whole = [result_fingerprint(r) for r in simulate_batch(cases)]
+    split = [
+        result_fingerprint(r)
+        for r in simulate_batch(cases[:cut]) + simulate_batch(cases[cut:])
+    ]
+    assert whole == split
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(0, 10_000), st.integers(2, 5), st.randoms())
+def test_batch_order_permutation_invariance(seed, n_nodes, rnd):
+    """A node's result never depends on where it sits in the batch."""
+    cases = _tiny_cases(seed, n_nodes)
+    order = list(range(n_nodes))
+    rnd.shuffle(order)
+    base = [result_fingerprint(r) for r in simulate_batch(cases)]
+    shuffled = simulate_batch([cases[i] for i in order])
+    assert [result_fingerprint(r) for r in shuffled] == [
+        base[i] for i in order
+    ]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(0, 10_000), st.integers(1, 4))
+def test_batched_rows_respect_physics_invariants(seed, n_nodes):
+    """Per-row accounting on batched state: rates, signs, bounds."""
+    cases = _tiny_cases(seed, n_nodes)
+    for case, result in zip(cases, simulate_batch(cases)):
+        v_full = max(c.v_full for c in case.capacitors)
+        assert 0.0 <= result.dmr <= 1.0
+        for rec in result.periods:
+            assert 0.0 <= rec.dmr <= 1.0
+            assert 0 <= rec.miss_count <= len(case.graph)
+            assert rec.solar_energy >= 0.0
+            assert rec.load_energy >= 0.0
+            assert rec.leakage_energy >= -1e-12
+            assert rec.charged_energy >= 0.0
+            # Load splits exactly into its two supply channels.
+            assert rec.load_energy == pytest.approx(
+                rec.direct_energy + rec.storage_energy, abs=1e-9
+            )
+            assert 0 <= rec.brownout_slots <= (
+                case.trace.timeline.slots_per_period
+            )
+            assert np.all(rec.start_voltages >= 0.0)
+            assert np.all(rec.start_voltages <= v_full + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Teeth: the conformance wall must actually bite
+# ----------------------------------------------------------------------
+class TestOracleTeeth:
+    def test_clean_oracle_passes(self):
+        out = oracle_batch_vs_per_node(n_nodes=6, seed=0, label="clean")
+        assert out.passed
+        assert out.checked == 6
+        assert not out.violations
+
+    def test_corrupted_leak_row_names_the_node(self, monkeypatch):
+        """An off-by-one planted in one batched leakage row must come
+        back as a structured Violation naming that node."""
+        import repro.sim.batch as batch_mod
+
+        target_row = 2
+        real = batch_mod._node_leak_row
+
+        def corrupt(node_index, devices):
+            row = real(node_index, devices)
+            if node_index == target_row:
+                row = [x * 1.5 + 1e-7 for x in row]
+            return row
+
+        monkeypatch.setattr(batch_mod, "_node_leak_row", corrupt)
+        out = oracle_batch_vs_per_node(n_nodes=6, seed=0, label="teeth")
+        assert not out.passed
+        assert {v.details["node_id"] for v in out.violations} == {
+            target_row
+        }
+        v = out.violations[0]
+        assert "fingerprint" in v.details["differing_fields"]
+        assert v.details["policy"]
+        assert v.details["graph_kind"]
+
+
+# ----------------------------------------------------------------------
+# Fleet-level engine equivalence
+# ----------------------------------------------------------------------
+class TestFleetEngines:
+    def test_engine_fingerprints_identical(self):
+        spec = FleetSpec(n_nodes=24, seed=9)
+        batch = FleetRunner(
+            spec, workers=1, cache=False, engine="batch"
+        ).run()
+        per_node = FleetRunner(
+            spec, workers=1, cache=False, engine="per-node"
+        ).run()
+        assert batch.fingerprint() == per_node.fingerprint()
+        assert batch.config["engine"] == "batch"
+        assert per_node.config["engine"] == "per-node"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            FleetRunner(FleetSpec(n_nodes=2, seed=0), engine="warp")

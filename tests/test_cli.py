@@ -367,6 +367,11 @@ def _case_perf_regression(tmp_path, monkeypatch):
                 "workload": "w", "nodes": 4, "seconds": 1.0,
                 "nodes_per_sec": 4.0, "fingerprint": "f" * 64,
             },
+            "fleet_batch": {
+                "workload": "w", "nodes": 16, "seconds": 1.0,
+                "nodes_per_sec": 48.0, "speedup_vs_per_node": 12.0,
+                "fingerprint": "f" * 64,
+            },
         },
     }
     monkeypatch.setattr(

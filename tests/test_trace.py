@@ -2,7 +2,8 @@
 
 The acceptance contract: a multi-worker fleet run's span records
 reassemble into a *single rooted tree* — fleet_run → shard → node →
-engine_run with correct parents, no orphans — and tracing never
+engine_run with the per-node executor, fleet_run → shard → batch with
+the batched one — with correct parents, no orphans, and tracing never
 changes a result fingerprint (on, off, or NULL_OBSERVER).
 """
 
@@ -214,22 +215,46 @@ class TestFleetTrace:
         observer, sink = collecting_observer()
         spec = FleetSpec(n_nodes=6, seed=0)
         FleetRunner(
-            spec, workers=1, shard_size=2, observer=observer, cache=False
+            spec, workers=1, shard_size=2, observer=observer, cache=False,
+            engine="per-node",
         ).run()
         self.assert_fleet_tree(spans_of(sink), n_nodes=6)
+
+    def test_batch_engine_replaces_node_spans_with_batch_child(self):
+        # The batched executor advances a whole shard at once, so its
+        # shards carry a single `batch` child instead of per-node
+        # node/engine_run spans -- but the tree stays singly rooted.
+        observer, sink = collecting_observer()
+        spec = FleetSpec(n_nodes=6, seed=0)
+        FleetRunner(
+            spec, workers=1, shard_size=2, observer=observer, cache=False,
+            engine="batch",
+        ).run()
+        spans = spans_of(sink)
+        tree = build_span_tree(spans)
+        assert len(tree.roots) == 1 and not tree.orphans
+        batches = [r for r in spans if r["name"] == "batch"]
+        shards = [r for r in spans if r["name"] == "shard"]
+        assert len(batches) == len(shards) == 3
+        by_id = tree.by_id
+        assert {by_id[str(r["parent"])]["name"] for r in batches} == {
+            "shard"
+        }
+        assert not [r for r in spans if r["name"] in ("node", "engine_run")]
 
     def test_four_workers_fifty_nodes_single_tree(self, monkeypatch):
         monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
         observer, sink = collecting_observer()
         spec = FleetSpec(n_nodes=50, seed=0)
         traced = FleetRunner(
-            spec, workers=4, shard_size=8, observer=observer, cache=False
+            spec, workers=4, shard_size=8, observer=observer, cache=False,
+            engine="per-node",
         ).run()
         self.assert_fleet_tree(spans_of(sink), n_nodes=50)
         # Tracing must not perturb the simulation: bit-identical
         # fingerprints with tracing on, off, and fully unobserved.
         plain = FleetRunner(
-            spec, workers=4, shard_size=8, cache=False
+            spec, workers=4, shard_size=8, cache=False, engine="per-node"
         ).run()
         serial = FleetRunner(
             spec, workers=1, shard_size=50, cache=False
